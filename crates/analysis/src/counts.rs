@@ -1,0 +1,87 @@
+//! Figure 3 — the distribution of per-device failure counts.
+//!
+//! Paper facts: 77 % of phones report no failures; the average phone sees 33
+//! (16 `Data_Setup_Error` + 14 `Data_Stall` + 3 `Out_of_Service`); the worst
+//! single phone saw 198,228.
+
+use cellrel_sim::Ecdf;
+use cellrel_types::FailureKind;
+use cellrel_workload::StudyDataset;
+
+/// Figure 3 result.
+#[derive(Debug, Clone)]
+pub struct CountsFigure {
+    /// ECDF over per-device counts (all devices, zeros included).
+    pub ecdf: Ecdf,
+    /// Fraction of devices with zero failures.
+    pub zero_share: f64,
+    /// Mean failures per device.
+    pub mean: f64,
+    /// Maximum per-device count.
+    pub max: u32,
+    /// Mean per-device count by kind (major kinds).
+    pub mean_by_kind: [f64; 5],
+}
+
+/// Compute Figure 3.
+pub fn compute(data: &StudyDataset) -> CountsFigure {
+    let n = data.per_device_counts.len() as f64;
+    let zero = data.per_device_counts.iter().filter(|&&c| c == 0).count() as f64;
+    let max = data.per_device_counts.iter().copied().max().unwrap_or(0);
+    let mut kind_totals = [0u64; 5];
+    for e in &data.events {
+        kind_totals[e.kind.index()] += 1;
+    }
+    CountsFigure {
+        ecdf: Ecdf::new(data.per_device_counts.iter().map(|&c| c as f64).collect()),
+        zero_share: zero / n,
+        mean: data.events.len() as f64 / n,
+        max,
+        mean_by_kind: kind_totals.map(|t| t as f64 / n),
+    }
+}
+
+impl CountsFigure {
+    /// Render the CDF series plus the summary facts.
+    pub fn render(&self) -> String {
+        let mut out = crate::render::series(
+            "Fig. 3 — CDF of failures per phone",
+            &self.ecdf.series(12),
+            "failures",
+            "CDF",
+        );
+        out.push_str(&format!(
+            "zero-failure devices: {:.1}% (paper 77%)\nmean: {:.1} (paper 33) \
+             [setup {:.1} vs 16, stall {:.1} vs 14, oos {:.1} vs 3]\nmax: {} \n",
+            self.zero_share * 100.0,
+            self.mean,
+            self.mean_by_kind[FailureKind::DataSetupError.index()],
+            self.mean_by_kind[FailureKind::DataStall.index()],
+            self.mean_by_kind[FailureKind::OutOfService.index()],
+            self.max
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    
+
+    #[test]
+    fn fig3_shapes_match() {
+        let data = crate::testutil::dataset();
+        let f = compute(data);
+        assert!((0.70..0.85).contains(&f.zero_share), "zero share {}", f.zero_share);
+        assert!((20.0..48.0).contains(&f.mean), "mean {}", f.mean);
+        // Kind decomposition ≈ 16 / 14 / 3.
+        let dse = f.mean_by_kind[FailureKind::DataSetupError.index()];
+        let stall = f.mean_by_kind[FailureKind::DataStall.index()];
+        let oos = f.mean_by_kind[FailureKind::OutOfService.index()];
+        assert!(dse > stall && stall > oos, "{dse} {stall} {oos}");
+        // Heavy skew: max far above the mean.
+        assert!(f.max as f64 > f.mean * 20.0, "max {} mean {}", f.max, f.mean);
+        assert!(f.render().contains("zero-failure"));
+    }
+}

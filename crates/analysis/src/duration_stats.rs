@@ -1,0 +1,72 @@
+//! Figure 4 — the distribution of failure durations.
+
+use cellrel_sim::Ecdf;
+use cellrel_workload::StudyDataset;
+
+/// Figure 4 result.
+#[derive(Debug, Clone)]
+pub struct DurationFigure {
+    /// ECDF over all failure durations (seconds).
+    pub ecdf: Ecdf,
+    /// Mean duration, seconds (paper: 188 s).
+    pub mean_secs: f64,
+    /// Fraction under 30 s (paper: 70.8 %).
+    pub under_30s: f64,
+    /// Maximum (paper: 91,770 s).
+    pub max_secs: f64,
+}
+
+/// Compute Figure 4.
+pub fn compute(data: &StudyDataset) -> DurationFigure {
+    let durations: Vec<f64> = data
+        .events
+        .iter()
+        .map(|e| e.duration.as_secs_f64())
+        .collect();
+    assert!(!durations.is_empty(), "dataset has no failures");
+    let ecdf = Ecdf::new(durations);
+    DurationFigure {
+        mean_secs: ecdf.mean(),
+        under_30s: ecdf.at(29.999),
+        max_secs: ecdf.max(),
+        ecdf,
+    }
+}
+
+impl DurationFigure {
+    /// Render the quantile series plus the summary facts.
+    pub fn render(&self) -> String {
+        let qs = [0.1, 0.25, 0.5, 0.708, 0.9, 0.99, 1.0];
+        let points: Vec<(f64, f64)> = qs.iter().map(|&q| (self.ecdf.quantile(q), q)).collect();
+        let mut out = crate::render::series(
+            "Fig. 4 — failure duration CDF (seconds)",
+            &points,
+            "duration(s)",
+            "CDF",
+        );
+        out.push_str(&format!(
+            "mean {:.0} s (paper 188 s) | <30 s: {:.1}% (paper 70.8%) | max {:.0} s (paper 91,770 s)\n",
+            self.mean_secs,
+            self.under_30s * 100.0,
+            self.max_secs
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    
+
+    #[test]
+    fn fig4_shapes_match() {
+        let data = crate::testutil::dataset();
+        let f = compute(data);
+        assert!((80.0..400.0).contains(&f.mean_secs), "mean {}", f.mean_secs);
+        assert!((0.60..0.85).contains(&f.under_30s), "under-30 {}", f.under_30s);
+        assert!(f.max_secs <= 91_770.0 + 1.0);
+        assert!(f.max_secs > 2_000.0, "tail too light: max {}", f.max_secs);
+        assert!(f.render().contains("Fig. 4"));
+    }
+}

@@ -1,0 +1,105 @@
+//! CSV export of datasets and figure series — for downstream plotting.
+//!
+//! The paper's figures are plots; this repository renders text tables, and
+//! this module emits the same data as CSV so users can regenerate the plots
+//! with their tool of choice. No external dependencies: the columns are all
+//! numeric or controlled identifiers, so quoting rules are trivial.
+
+use cellrel_types::FailureEvent;
+use cellrel_workload::StudyDataset;
+use std::fmt::Write as _;
+
+/// Serialize failure events as CSV (one row per failure).
+pub fn events_csv(events: &[FailureEvent]) -> String {
+    let mut out = String::from(
+        "device,kind,start_ms,duration_ms,cause,rat,signal_level,apn,bs,isp\n",
+    );
+    for e in events {
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{},{},{},{},{},{}",
+            e.device.0,
+            e.kind.label(),
+            e.start.as_millis(),
+            e.duration.as_millis(),
+            e.cause.map(|c| c.name()).unwrap_or(""),
+            e.ctx.rat.label(),
+            e.ctx.signal.value(),
+            e.ctx.apn.name(),
+            e.ctx.bs.map(|b| b.as_u64().to_string()).unwrap_or_default(),
+            e.ctx.isp.label(),
+        );
+    }
+    out
+}
+
+/// Serialize a whole study's events.
+pub fn dataset_csv(data: &StudyDataset) -> String {
+    events_csv(&data.events)
+}
+
+/// Serialize an `(x, y)` series (one figure line) as CSV.
+pub fn series_csv(x_label: &str, y_label: &str, points: &[(f64, f64)]) -> String {
+    let mut out = format!("{x_label},{y_label}\n");
+    for (x, y) in points {
+        let _ = writeln!(out, "{x},{y}");
+    }
+    out
+}
+
+/// Serialize per-device failure counts.
+pub fn counts_csv(data: &StudyDataset) -> String {
+    let mut out = String::from("device,model,isp,failures\n");
+    for d in data.population.devices() {
+        let _ = writeln!(
+            out,
+            "{},{},{},{}",
+            d.id.0,
+            d.model.0,
+            d.isp.label(),
+            data.per_device_counts[d.id.0 as usize]
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dataset_csv_round_trips_row_count() {
+        let data = crate::testutil::dataset();
+        let csv = dataset_csv(data);
+        let rows = csv.lines().count();
+        assert_eq!(rows, data.events.len() + 1, "header + one row per event");
+        let header = csv.lines().next().expect("header");
+        assert_eq!(header.split(',').count(), 10);
+        // Every data row has the full column count.
+        for line in csv.lines().skip(1).take(100) {
+            assert_eq!(line.split(',').count(), 10, "bad row: {line}");
+        }
+    }
+
+    #[test]
+    fn counts_csv_covers_population() {
+        let data = crate::testutil::dataset();
+        let csv = counts_csv(data);
+        assert_eq!(csv.lines().count(), data.population.len() + 1);
+    }
+
+    #[test]
+    fn series_csv_format() {
+        let csv = series_csv("seconds", "cdf", &[(1.0, 0.5), (2.0, 1.0)]);
+        assert_eq!(csv, "seconds,cdf\n1,0.5\n2,1\n");
+    }
+
+    #[test]
+    fn setup_errors_carry_cause_column() {
+        let data = crate::testutil::dataset();
+        let csv = dataset_csv(data);
+        assert!(csv.contains("GprsRegistrationFail"));
+        assert!(csv.contains("Data_Setup_Error"));
+        assert!(csv.contains("Data_Stall"));
+    }
+}

@@ -1,0 +1,122 @@
+//! Figures 6–9 — prevalence and frequency by device group: 5G vs non-5G
+//! models (Figs. 6/7) and Android 9 vs Android 10 (Figs. 8/9).
+//!
+//! Per the paper's footnote 4, the Android-version comparison uses only
+//! non-5G models (5G models can only run Android 10), which is what makes
+//! the two effects separable.
+
+use crate::render::{pct, Table};
+use cellrel_types::AndroidVersion;
+use cellrel_workload::StudyDataset;
+
+/// Prevalence/frequency of one device group.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GroupStats {
+    /// Devices in the group.
+    pub devices: u32,
+    /// Prevalence.
+    pub prevalence: f64,
+    /// Frequency.
+    pub frequency: f64,
+}
+
+/// Figures 6–9 result.
+#[derive(Debug, Clone, Copy)]
+pub struct GroupFigures {
+    /// 5G-modem models.
+    pub with_5g: GroupStats,
+    /// Non-5G models.
+    pub without_5g: GroupStats,
+    /// Android 9 models (all are non-5G).
+    pub android9: GroupStats,
+    /// Android 10, non-5G models only (fair comparison).
+    pub android10_non5g: GroupStats,
+}
+
+fn group_stats(data: &StudyDataset, filter: impl Fn(usize) -> bool) -> GroupStats {
+    let mut devices = 0u32;
+    let mut failing = 0u32;
+    let mut failures = 0u64;
+    for d in data.population.devices() {
+        if !filter(d.id.0 as usize) {
+            continue;
+        }
+        devices += 1;
+        let c = data.per_device_counts[d.id.0 as usize];
+        if c > 0 {
+            failing += 1;
+            failures += c as u64;
+        }
+    }
+    let n = devices.max(1) as f64;
+    GroupStats {
+        devices,
+        prevalence: failing as f64 / n,
+        frequency: failures as f64 / n,
+    }
+}
+
+/// Compute Figures 6–9.
+pub fn compute(data: &StudyDataset) -> GroupFigures {
+    let devs = data.population.devices();
+    let spec_of = |i: usize| devs[i].spec();
+    GroupFigures {
+        with_5g: group_stats(data, |i| spec_of(i).hw.has_5g_modem),
+        without_5g: group_stats(data, |i| !spec_of(i).hw.has_5g_modem),
+        android9: group_stats(data, |i| spec_of(i).hw.android == AndroidVersion::V9),
+        android10_non5g: group_stats(data, |i| {
+            spec_of(i).hw.android == AndroidVersion::V10 && !spec_of(i).hw.has_5g_modem
+        }),
+    }
+}
+
+impl GroupFigures {
+    /// Render all four figures as one comparison table.
+    pub fn render(&self) -> String {
+        let mut t = Table::new(
+            "Fig. 6–9 — prevalence / frequency by group",
+            &["group", "devices", "prevalence", "frequency"],
+        );
+        for (name, g) in [
+            ("5G models (Fig.6/7)", self.with_5g),
+            ("non-5G models", self.without_5g),
+            ("Android 9 (Fig.8/9)", self.android9),
+            ("Android 10 (non-5G)", self.android10_non5g),
+        ] {
+            t.row(vec![
+                name.into(),
+                g.devices.to_string(),
+                pct(g.prevalence),
+                format!("{:.1}", g.frequency),
+            ]);
+        }
+        format!(
+            "{}\npaper: 5G > non-5G and Android 10 > Android 9 on both axes\n",
+            t.render()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    
+
+    #[test]
+    fn group_orderings_match_paper() {
+        let data = crate::testutil::dataset();
+        let g = compute(data);
+        // Fig. 6/7: 5G above non-5G on both axes.
+        assert!(g.with_5g.prevalence > g.without_5g.prevalence);
+        assert!(g.with_5g.frequency > g.without_5g.frequency);
+        // Fig. 8/9: Android 10 above Android 9 (non-5G only).
+        assert!(g.android10_non5g.prevalence > g.android9.prevalence);
+        assert!(g.android10_non5g.frequency > g.android9.frequency);
+        // Sanity: groups partition sensibly.
+        assert_eq!(
+            g.with_5g.devices + g.without_5g.devices,
+            data.population.len() as u32
+        );
+        assert!(g.render().contains("Fig. 6–9"));
+    }
+}

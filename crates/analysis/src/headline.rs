@@ -1,0 +1,166 @@
+//! §3.1 general statistics.
+//!
+//! Paper values at full scale: 2,315,314,213 failures across 16,183,145
+//! affected devices; >99 % of failures are the three major kinds; average
+//! failure duration 188 s with 70.8 % under 30 s; Data_Stall contributes
+//! 94 % of total failure duration; 95 % of phones see no Out_of_Service.
+
+use crate::render::{pct, Table};
+use cellrel_types::FailureKind;
+use cellrel_workload::StudyDataset;
+
+/// The §3.1 headline numbers recovered from a dataset.
+#[derive(Debug, Clone)]
+pub struct Headline {
+    /// Devices in the study.
+    pub devices: usize,
+    /// Total recorded failures.
+    pub total_failures: u64,
+    /// Devices with ≥1 failure.
+    pub affected_devices: u64,
+    /// Overall prevalence.
+    pub prevalence: f64,
+    /// Mean failures per device.
+    pub frequency: f64,
+    /// Share of failures by kind (index = `FailureKind::index`).
+    pub kind_share: [f64; 5],
+    /// Share of *total duration* by kind.
+    pub kind_duration_share: [f64; 5],
+    /// Mean failure duration, seconds.
+    pub mean_duration_secs: f64,
+    /// Fraction of failures shorter than 30 s.
+    pub under_30s: f64,
+    /// Maximum duration, seconds.
+    pub max_duration_secs: f64,
+    /// Fraction of devices with zero Out_of_Service events.
+    pub no_oos_share: f64,
+}
+
+/// Compute the headline statistics.
+pub fn compute(data: &StudyDataset) -> Headline {
+    let devices = data.population.len();
+    let total = data.events.len() as u64;
+    let affected = data.per_device_counts.iter().filter(|&&c| c > 0).count() as u64;
+
+    let mut kind_counts = [0u64; 5];
+    let mut kind_durations = [0f64; 5];
+    let mut total_duration = 0f64;
+    let mut under_30 = 0u64;
+    let mut max_d = 0f64;
+    let mut oos_devices = std::collections::HashSet::new();
+    for e in &data.events {
+        let d = e.duration.as_secs_f64();
+        kind_counts[e.kind.index()] += 1;
+        kind_durations[e.kind.index()] += d;
+        total_duration += d;
+        if d < 30.0 {
+            under_30 += 1;
+        }
+        if d > max_d {
+            max_d = d;
+        }
+        if e.kind == FailureKind::OutOfService {
+            oos_devices.insert(e.device);
+        }
+    }
+
+    let kind_share = kind_counts.map(|c| c as f64 / total.max(1) as f64);
+    let kind_duration_share = kind_durations.map(|d| d / total_duration.max(1e-12));
+
+    Headline {
+        devices,
+        total_failures: total,
+        affected_devices: affected,
+        prevalence: affected as f64 / devices as f64,
+        frequency: total as f64 / devices as f64,
+        kind_share,
+        kind_duration_share,
+        mean_duration_secs: total_duration / total.max(1) as f64,
+        under_30s: under_30 as f64 / total.max(1) as f64,
+        max_duration_secs: max_d,
+        no_oos_share: 1.0 - oos_devices.len() as f64 / devices as f64,
+    }
+}
+
+impl Headline {
+    /// Render alongside the paper's values.
+    pub fn render(&self) -> String {
+        let mut t = Table::new(
+            "§3.1 general statistics (measured vs paper)",
+            &["statistic", "measured", "paper"],
+        );
+        t.row(vec![
+            "prevalence (≥1 failure)".into(),
+            pct(self.prevalence),
+            "23%".into(),
+        ]);
+        t.row(vec![
+            "failures per device".into(),
+            format!("{:.1}", self.frequency),
+            "33".into(),
+        ]);
+        t.row(vec![
+            "major-kind share".into(),
+            pct(self.kind_share[..3].iter().sum()),
+            ">99%".into(),
+        ]);
+        t.row(vec![
+            "Data_Stall count share".into(),
+            pct(self.kind_share[FailureKind::DataStall.index()]),
+            "~40%".into(),
+        ]);
+        t.row(vec![
+            "Data_Stall duration share".into(),
+            pct(self.kind_duration_share[FailureKind::DataStall.index()]),
+            "94%".into(),
+        ]);
+        t.row(vec![
+            "mean failure duration".into(),
+            format!("{:.0} s", self.mean_duration_secs),
+            "188 s".into(),
+        ]);
+        t.row(vec![
+            "failures < 30 s".into(),
+            pct(self.under_30s),
+            "70.8%".into(),
+        ]);
+        t.row(vec![
+            "max duration".into(),
+            format!("{:.0} s", self.max_duration_secs),
+            "91,770 s".into(),
+        ]);
+        t.row(vec![
+            "devices with no Out_of_Service".into(),
+            pct(self.no_oos_share),
+            "95%".into(),
+        ]);
+        t.render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    
+
+    #[test]
+    fn headline_matches_paper_shapes() {
+        let data = crate::testutil::dataset();
+        let h = compute(data);
+        assert!((0.15..0.30).contains(&h.prevalence), "prevalence {}", h.prevalence);
+        assert!((20.0..48.0).contains(&h.frequency), "frequency {}", h.frequency);
+        assert!(h.kind_share[..3].iter().sum::<f64>() > 0.98);
+        let stall_dur = h.kind_duration_share[FailureKind::DataStall.index()];
+        assert!(stall_dur > 0.8, "stall duration share {stall_dur}");
+        assert!((0.60..0.85).contains(&h.under_30s), "under-30s {}", h.under_30s);
+        assert!((80.0..400.0).contains(&h.mean_duration_secs));
+        // §3.1: "most (95 %) phones do not experience Out_of_Service events".
+        assert!(
+            (0.90..0.99).contains(&h.no_oos_share),
+            "no-OOS share {}",
+            h.no_oos_share
+        );
+        let s = h.render();
+        assert!(s.contains("Data_Stall duration share"));
+    }
+}

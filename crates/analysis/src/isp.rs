@@ -1,0 +1,94 @@
+//! Figures 12–13 — prevalence and frequency by ISP.
+//!
+//! Paper: ISP-B worst (27.1 % prevalence, inferior coverage from its higher
+//! carrier frequency), then ISP-A (20.1 %), then ISP-C (14.7 %); frequency
+//! follows the same ordering.
+
+use crate::render::{pct, Table};
+use cellrel_types::Isp;
+use cellrel_workload::population::ISP_PREVALENCE;
+use cellrel_workload::StudyDataset;
+
+/// Per-ISP measured stats.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IspStats {
+    /// The ISP.
+    pub isp: Isp,
+    /// Subscribers in the population.
+    pub devices: u32,
+    /// Measured prevalence.
+    pub prevalence: f64,
+    /// Measured frequency.
+    pub frequency: f64,
+}
+
+/// Compute Figures 12–13.
+pub fn compute(data: &StudyDataset) -> [IspStats; 3] {
+    let mut devices = [0u32; 3];
+    let mut failing = [0u32; 3];
+    let mut failures = [0u64; 3];
+    for d in data.population.devices() {
+        let i = d.isp.index();
+        devices[i] += 1;
+        let c = data.per_device_counts[d.id.0 as usize];
+        if c > 0 {
+            failing[i] += 1;
+            failures[i] += c as u64;
+        }
+    }
+    Isp::ALL.map(|isp| {
+        let i = isp.index();
+        let n = devices[i].max(1) as f64;
+        IspStats {
+            isp,
+            devices: devices[i],
+            prevalence: failing[i] as f64 / n,
+            frequency: failures[i] as f64 / n,
+        }
+    })
+}
+
+/// Render with the paper's targets.
+pub fn render(stats: &[IspStats; 3]) -> String {
+    let mut t = Table::new(
+        "Fig. 12–13 — prevalence / frequency by ISP (measured vs paper)",
+        &["isp", "devices", "prevalence", "paper", "frequency"],
+    );
+    for s in stats {
+        t.row(vec![
+            s.isp.to_string(),
+            s.devices.to_string(),
+            pct(s.prevalence),
+            pct(ISP_PREVALENCE[s.isp.index()]),
+            format!("{:.1}", s.frequency),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    
+
+    #[test]
+    fn isp_ordering_and_levels_match_fig12() {
+        let data = crate::testutil::dataset();
+        let stats = compute(data);
+        let by = |isp: Isp| stats[isp.index()];
+        assert!(by(Isp::B).prevalence > by(Isp::A).prevalence);
+        assert!(by(Isp::A).prevalence > by(Isp::C).prevalence);
+        // Levels near the paper's values.
+        for isp in Isp::ALL {
+            let target = ISP_PREVALENCE[isp.index()];
+            let got = by(isp).prevalence;
+            assert!(
+                (got - target).abs() < 0.05,
+                "{isp}: {got} vs target {target}"
+            );
+        }
+        // Fig. 13 ordering follows.
+        assert!(by(Isp::B).frequency > by(Isp::C).frequency);
+        assert!(render(&stats).contains("ISP-B"));
+    }
+}

@@ -1,0 +1,82 @@
+//! Figure 14 — failure prevalence on 2G / 3G / 4G / 5G base stations.
+//!
+//! The counter-intuitive finding: although 3G BSes are fewer with worse
+//! coverage, their failure prevalence is *lower* than 2G's or 4G's — the
+//! idle-3G effect. 5G tops the chart (immature modules + blind preference).
+
+use crate::render::{pct, Table};
+use cellrel_types::Rat;
+use cellrel_workload::StudyDataset;
+use std::collections::HashSet;
+
+/// Per-RAT prevalence: fraction of devices that experienced ≥1 failure
+/// while attached over each RAT, among devices whose hardware supports it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RatPrevalence {
+    /// The RAT.
+    pub rat: Rat,
+    /// Devices capable of this RAT.
+    pub capable_devices: u32,
+    /// Prevalence among capable devices.
+    pub prevalence: f64,
+}
+
+/// Compute Figure 14.
+pub fn compute(data: &StudyDataset) -> [RatPrevalence; 4] {
+    let mut failed_on: [HashSet<u32>; 4] = Default::default();
+    for e in &data.events {
+        failed_on[e.ctx.rat.index()].insert(e.device.0);
+    }
+    let mut capable = [0u32; 4];
+    for d in data.population.devices() {
+        for rat in d.spec().hw.supported_rats().iter() {
+            capable[rat.index()] += 1;
+        }
+    }
+    Rat::ALL.map(|rat| {
+        let i = rat.index();
+        RatPrevalence {
+            rat,
+            capable_devices: capable[i],
+            prevalence: failed_on[i].len() as f64 / capable[i].max(1) as f64,
+        }
+    })
+}
+
+/// Render Figure 14.
+pub fn render(stats: &[RatPrevalence; 4]) -> String {
+    let mut t = Table::new(
+        "Fig. 14 — failure prevalence by RAT",
+        &["RAT", "capable devices", "prevalence"],
+    );
+    for s in stats {
+        t.row(vec![
+            s.rat.to_string(),
+            s.capable_devices.to_string(),
+            pct(s.prevalence),
+        ]);
+    }
+    format!(
+        "{}\npaper: 3G lowest of the legacy RATs (the idle-3G effect)\n",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    
+
+    #[test]
+    fn idle_3g_effect_recovered() {
+        let data = crate::testutil::dataset();
+        let stats = compute(data);
+        let by = |rat: Rat| stats[rat.index()].prevalence;
+        // Fig. 14: 3G below both 2G and 4G.
+        assert!(by(Rat::G3) < by(Rat::G2), "3G {} vs 2G {}", by(Rat::G3), by(Rat::G2));
+        assert!(by(Rat::G3) < by(Rat::G4), "3G {} vs 4G {}", by(Rat::G3), by(Rat::G4));
+        // 5G prevalence among 5G-capable devices is the highest.
+        assert!(by(Rat::G5) > by(Rat::G3));
+        assert!(render(&stats).contains("Fig. 14"));
+    }
+}

@@ -1,0 +1,223 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * the recovery probation trigger (grid over probation triples, and the
+//!   sensitivity of the TIMP optimum to the operation-cost model);
+//! * the stability-compatible policy's pieces (usable-level threshold, and
+//!   dual connectivity on/off);
+//! * the §4.1 guideline sweeps (hub density, cross-ISP carrier gap,
+//!   idle-3G offload).
+//!
+//! Each group prints its ablation table before timing the underlying
+//! computation, so `cargo bench` output records the ablation results.
+
+use cellrel::sim::SimRng;
+use cellrel::telephony::RecoveryConfig;
+use cellrel::timp::{anneal_probations, AnnealConfig, TimpModel};
+use cellrel::types::SignalLevel;
+use cellrel::workload::durations::sample_auto_heal_secs;
+use cellrel::workload::guidelines::{
+    cross_isp_gap_sweep, density_sweep, idle_3g_offload_sweep,
+};
+use cellrel::workload::{run_rat_policy_ab, AbConfig};
+use cellrel_bench::ab_config;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn heal_samples(n: usize, seed: u64) -> Vec<f64> {
+    let mut rng = SimRng::new(seed);
+    (0..n).map(|_| sample_auto_heal_secs(&mut rng)).collect()
+}
+
+fn bench_probation_grid(c: &mut Criterion) {
+    let samples = heal_samples(30_000, 7);
+    let rec = RecoveryConfig::vanilla();
+    let model = TimpModel::from_durations(
+        &samples,
+        rec.op_success,
+        rec.op_cost.map(|d| d.as_secs_f64()),
+    );
+    println!("== ablation: expected recovery time over probation triples ==");
+    for p0 in [5u64, 15, 21, 30, 60, 120] {
+        let mut line = format!("Pro0={p0:>3}s:");
+        for p1 in [6u64, 20, 60] {
+            let t = model.expected_recovery_time([p0 as f64, p1 as f64, 16.0]);
+            line.push_str(&format!("  (Pro1={p1:>2},Pro2=16) {t:5.1}s"));
+        }
+        println!("{line}");
+    }
+    c.bench_function("ablation_probation_grid_eval", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for p0 in [5u64, 15, 21, 30, 60, 120] {
+                for p1 in [6u64, 20, 60] {
+                    acc += model.expected_recovery_time([p0 as f64, p1 as f64, 16.0]);
+                }
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn bench_op_cost_sensitivity(c: &mut Criterion) {
+    let samples = heal_samples(30_000, 8);
+    println!("== ablation: TIMP optimum vs operation-cost model ==");
+    for (label, costs) in [
+        ("cheap ops (1.5/4/9 s)", [1.5, 4.0, 9.0]),
+        ("default ops (12/30/60 s)", [12.0, 30.0, 60.0]),
+        ("heavy ops (30/60/120 s)", [30.0, 60.0, 120.0]),
+    ] {
+        let model = TimpModel::from_durations(&samples, [0.75, 0.90, 0.97], costs);
+        let r = anneal_probations(&model, &AnnealConfig::default());
+        println!(
+            "{label:>26}: optimum {:?} → {:.1}s ({:+.0}% vs vanilla {:.1}s)",
+            r.probations,
+            r.expected_time,
+            -r.improvement() * 100.0,
+            r.vanilla_time
+        );
+    }
+    let model = TimpModel::from_durations(&samples, [0.75, 0.90, 0.97], [12.0, 30.0, 60.0]);
+    c.bench_function("ablation_anneal_default_costs", |b| {
+        b.iter(|| black_box(anneal_probations(&model, &AnnealConfig::default())))
+    });
+}
+
+fn bench_policy_pieces(c: &mut Criterion) {
+    use cellrel::telephony::RatPolicyKind;
+    let cfg = AbConfig {
+        devices: 12,
+        days: 2,
+        ..ab_config()
+    };
+    println!("== ablation: stability-compatible policy pieces ==");
+    // Baseline and full fix.
+    let (vanilla, full) = run_rat_policy_ab(&cfg);
+    println!(
+        "{:>28}: {:.1} failures/device",
+        "vanilla android 10", vanilla.frequency
+    );
+    println!(
+        "{:>28}: {:.1} failures/device",
+        "full fix (threshold+DC)", full.frequency
+    );
+    // Pieces, via custom arms.
+    for (label, kind) in [
+        ("no dual connectivity", RatPolicyKind::StabilityNoDualConnectivity),
+        (
+            "threshold L2 (stricter)",
+            RatPolicyKind::StabilityThreshold(SignalLevel::L2),
+        ),
+        (
+            "threshold L3 (strictest)",
+            RatPolicyKind::StabilityThreshold(SignalLevel::L3),
+        ),
+    ] {
+        let outcome = cellrel::workload::ab::run_custom_arm(kind, &cfg);
+        println!("{label:>28}: {:.1} failures/device", outcome.frequency);
+    }
+    let tiny = AbConfig {
+        devices: 3,
+        days: 1,
+        ..cfg
+    };
+    c.bench_function("ablation_policy_arm_small", |b| {
+        b.iter(|| {
+            black_box(cellrel::workload::ab::run_custom_arm(
+                RatPolicyKind::StabilityNoDualConnectivity,
+                &tiny,
+            ))
+        })
+    });
+}
+
+fn bench_probe_timeout_sweep(c: &mut Criterion) {
+    use cellrel::monitor::{ProbeConfig, ProbeSession};
+    use cellrel::netstack::LinkCondition;
+    use cellrel::types::SimDuration;
+    println!("== ablation: probe round length (DNS timeout) vs accuracy/overhead ==");
+    let mut rng = SimRng::new(9);
+    for dns_secs in [2u64, 5, 10, 20] {
+        let cfg = ProbeConfig {
+            dns_timeout: SimDuration::from_secs(dns_secs),
+            ..ProbeConfig::default()
+        };
+        let mut rounds = 0u64;
+        let mut err = 0.0;
+        let n = 300;
+        for _ in 0..n {
+            let truth = rng.range_f64(60.0, 300.0);
+            let m = ProbeSession.measure_with(
+                SimDuration::from_secs_f64(truth),
+                LinkCondition::NetworkBlackhole,
+                &cfg,
+                &mut rng,
+            );
+            rounds += m.rounds as u64;
+            err += (m.measured.expect("measured").as_secs_f64() - truth).abs();
+        }
+        println!(
+            "dns timeout {dns_secs:>2}s: {:.1} rounds/stall, mean |error| {:.1}s{}",
+            rounds as f64 / n as f64,
+            err / n as f64,
+            if dns_secs == 5 { "   <- the paper's design point" } else { "" }
+        );
+    }
+    let cfg = ProbeConfig::default();
+    c.bench_function("ablation_probe_session_120s", |b| {
+        b.iter(|| {
+            black_box(ProbeSession.measure_with(
+                SimDuration::from_secs(120),
+                LinkCondition::NetworkBlackhole,
+                &cfg,
+                &mut rng,
+            ))
+        })
+    });
+}
+
+fn bench_guideline_sweeps(c: &mut Criterion) {
+    println!("== ablation: §4.1 guideline sweeps ==");
+    let density = density_sweep(60, 10);
+    println!(
+        "hub density 0→60 neighbours: P(fail|L5) {:.3} → {:.3}",
+        density.first().expect("non-empty").l5_failure_prob,
+        density.last().expect("non-empty").l5_failure_prob
+    );
+    let gaps = cross_isp_gap_sweep(&[0.0, 5.0, 15.0, 40.0, 100.0, 300.0]);
+    println!(
+        "cross-ISP gap 0→300 MHz:     P(fail|L5) {:.3} → {:.3}",
+        gaps.first().expect("non-empty").l5_failure_prob,
+        gaps.last().expect("non-empty").l5_failure_prob
+    );
+    let offload = idle_3g_offload_sweep(0.95, 20);
+    let best = offload
+        .iter()
+        .min_by(|a, b| a.total_rejection.partial_cmp(&b.total_rejection).expect("finite"))
+        .expect("non-empty");
+    println!(
+        "idle-3G offload optimum:     {:.0}% of 4G demand (rejections {:.3} → {:.3})",
+        best.offload_fraction * 100.0,
+        offload[0].total_rejection,
+        best.total_rejection
+    );
+    c.bench_function("ablation_guideline_sweeps", |b| {
+        b.iter(|| {
+            black_box((
+                density_sweep(60, 10).len(),
+                cross_isp_gap_sweep(&[0.0, 100.0]).len(),
+                idle_3g_offload_sweep(0.95, 20).len(),
+            ))
+        })
+    });
+}
+
+criterion_group!(
+    name = ablations;
+    config = Criterion::default().sample_size(10);
+    targets = bench_probation_grid,
+        bench_op_cost_sensitivity,
+        bench_policy_pieces,
+        bench_probe_timeout_sweep,
+        bench_guideline_sweeps
+);
+criterion_main!(ablations);

@@ -1,0 +1,153 @@
+//! Criterion benches for the macro-study pipeline — one benchmark per
+//! fleet-level table/figure. Before timing, each group prints the
+//! regenerated rows/series so `cargo bench` output doubles as the paper
+//! reproduction record (see EXPERIMENTS.md).
+
+use cellrel::analysis as an;
+use cellrel::sim::SimRng;
+use cellrel::workload::{run_macro_study, PopulationConfig, StudyConfig};
+use cellrel_bench::standard_study;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_study_generation(c: &mut Criterion) {
+    let cfg = StudyConfig {
+        population: PopulationConfig {
+            devices: 2_000,
+            ..Default::default()
+        },
+        bs_count: 2_000,
+        seed: 1,
+        ..Default::default()
+    };
+    c.bench_function("macro_study_generate_2k_devices", |b| {
+        b.iter(|| black_box(run_macro_study(black_box(&cfg))).events.len())
+    });
+}
+
+fn bench_headline(c: &mut Criterion) {
+    let data = standard_study();
+    println!("{}", an::headline::compute(data).render());
+    c.bench_function("headline_stats", |b| {
+        b.iter(|| black_box(an::headline::compute(black_box(data))))
+    });
+}
+
+fn bench_table1(c: &mut Criterion) {
+    let data = standard_study();
+    println!("{}", an::table1::compute(data).render());
+    c.bench_function("table1_per_model", |b| {
+        b.iter(|| black_box(an::table1::compute(black_box(data))))
+    });
+}
+
+fn bench_table2(c: &mut Criterion) {
+    let data = standard_study();
+    println!("{}", an::table2::compute(data, 10).render());
+    c.bench_function("table2_cause_decomposition", |b| {
+        b.iter(|| black_box(an::table2::compute(black_box(data), 10)))
+    });
+}
+
+fn bench_fig2_fig5(c: &mut Criterion) {
+    let data = standard_study();
+    println!("{}", an::per_model::render(&an::per_model::compute(data)));
+    c.bench_function("fig02_fig05_per_model", |b| {
+        b.iter(|| black_box(an::per_model::compute(black_box(data))))
+    });
+}
+
+fn bench_fig3(c: &mut Criterion) {
+    let data = standard_study();
+    println!("{}", an::counts::compute(data).render());
+    c.bench_function("fig03_failure_counts_cdf", |b| {
+        b.iter(|| black_box(an::counts::compute(black_box(data))))
+    });
+}
+
+fn bench_fig4(c: &mut Criterion) {
+    let data = standard_study();
+    println!("{}", an::duration_stats::compute(data).render());
+    c.bench_function("fig04_duration_cdf", |b| {
+        b.iter(|| black_box(an::duration_stats::compute(black_box(data))))
+    });
+}
+
+fn bench_fig6_to_9(c: &mut Criterion) {
+    let data = standard_study();
+    println!("{}", an::groups::compute(data).render());
+    c.bench_function("fig06_09_group_stats", |b| {
+        b.iter(|| black_box(an::groups::compute(black_box(data))))
+    });
+}
+
+fn bench_fig10(c: &mut Criterion) {
+    let data = standard_study();
+    println!("{}", an::stall_recovery::compute(data).render());
+    c.bench_function("fig10_stall_recovery_cdf", |b| {
+        b.iter(|| black_box(an::stall_recovery::compute(black_box(data))))
+    });
+}
+
+fn bench_fig11(c: &mut Criterion) {
+    let data = standard_study();
+    println!("{}", an::zipf::compute(data).render());
+    c.bench_function("fig11_bs_zipf_ranking", |b| {
+        b.iter(|| black_box(an::zipf::compute(black_box(data))))
+    });
+}
+
+fn bench_fig12_13(c: &mut Criterion) {
+    let data = standard_study();
+    println!("{}", an::isp::render(&an::isp::compute(data)));
+    c.bench_function("fig12_13_isp_stats", |b| {
+        b.iter(|| black_box(an::isp::compute(black_box(data))))
+    });
+}
+
+fn bench_fig14(c: &mut Criterion) {
+    let data = standard_study();
+    println!("{}", an::per_rat::render(&an::per_rat::compute(data)));
+    c.bench_function("fig14_per_rat_prevalence", |b| {
+        b.iter(|| black_box(an::per_rat::compute(black_box(data))))
+    });
+}
+
+fn bench_fig15_16(c: &mut Criterion) {
+    let data = standard_study();
+    println!("{}", an::signal::compute(data).render());
+    c.bench_function("fig15_16_signal_levels", |b| {
+        b.iter(|| black_box(an::signal::compute(black_box(data))))
+    });
+}
+
+fn bench_fig17(c: &mut Criterion) {
+    let mut rng = SimRng::new(17);
+    println!("{}", an::transitions::compute(2_000, &mut rng).render());
+    c.bench_function("fig17_transition_matrices", |b| {
+        b.iter(|| {
+            let mut rng = SimRng::new(17);
+            black_box(an::transitions::compute(black_box(500), &mut rng))
+        })
+    });
+}
+
+criterion_group!(
+    name = macro_figures;
+    config = Criterion::default().sample_size(20);
+    targets = bench_study_generation,
+        bench_headline,
+        bench_table1,
+        bench_table2,
+        bench_fig2_fig5,
+        bench_fig3,
+        bench_fig4,
+        bench_fig6_to_9,
+        bench_fig10,
+        bench_fig11,
+        bench_fig12_13,
+        bench_fig14,
+        bench_fig15_16,
+        bench_fig17
+);
+criterion_main!(macro_figures);

@@ -1,0 +1,83 @@
+//! Criterion benches for the enhancement pipeline: the TIMP model fit and
+//! annealing search (§4.2) and the A/B fleets behind Figures 19–21. Each
+//! group prints its regenerated results before timing.
+
+use cellrel::analysis::ab::{compare_rat_policy, compare_recovery};
+use cellrel::sim::SimRng;
+use cellrel::telephony::RecoveryConfig;
+use cellrel::timp::{anneal_probations, AnnealConfig, TimpModel};
+use cellrel::workload::durations::sample_auto_heal_secs;
+use cellrel::workload::{run_rat_policy_ab, run_recovery_ab};
+use cellrel_bench::{ab_config, recovery_ab_config};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn fitted_model() -> TimpModel {
+    let mut rng = SimRng::new(7);
+    let samples: Vec<f64> = (0..30_000).map(|_| sample_auto_heal_secs(&mut rng)).collect();
+    let recovery = RecoveryConfig::vanilla();
+    TimpModel::from_durations(
+        &samples,
+        recovery.op_success,
+        recovery.op_cost.map(|c| c.as_secs_f64()),
+    )
+}
+
+fn bench_timp_eval(c: &mut Criterion) {
+    let model = fitted_model();
+    println!(
+        "TIMP expected recovery: vanilla(60,60,60) = {:.1} s (paper 38 s), paper(21,6,16) = {:.1} s (paper 27.8 s)",
+        model.expected_recovery_time([60.0, 60.0, 60.0]),
+        model.expected_recovery_time([21.0, 6.0, 16.0])
+    );
+    c.bench_function("timp_expected_recovery_eval", |b| {
+        b.iter(|| black_box(model.expected_recovery_time(black_box([21.0, 6.0, 16.0]))))
+    });
+}
+
+fn bench_timp_anneal(c: &mut Criterion) {
+    let model = fitted_model();
+    let result = anneal_probations(&model, &AnnealConfig::default());
+    println!(
+        "TIMP annealed optimum {:?}: {:.1} s ({:.0}% better than vanilla)",
+        result.probations,
+        result.expected_time,
+        result.improvement() * 100.0
+    );
+    c.bench_function("timp_anneal_full_search", |b| {
+        b.iter(|| black_box(anneal_probations(&model, &AnnealConfig::default())))
+    });
+}
+
+fn bench_fig19_20(c: &mut Criterion) {
+    let (v, p) = run_rat_policy_ab(&ab_config());
+    println!("{}", compare_rat_policy(v, p).render());
+    let small = cellrel::workload::AbConfig {
+        devices: 4,
+        days: 1,
+        ..ab_config()
+    };
+    c.bench_function("fig19_20_rat_policy_ab_small", |b| {
+        b.iter(|| black_box(run_rat_policy_ab(black_box(&small))))
+    });
+}
+
+fn bench_fig21(c: &mut Criterion) {
+    let (v, t) = run_recovery_ab(&recovery_ab_config());
+    println!("{}", compare_recovery(v, t).render());
+    let small = cellrel::workload::AbConfig {
+        devices: 3,
+        days: 1,
+        ..recovery_ab_config()
+    };
+    c.bench_function("fig21_recovery_ab_small", |b| {
+        b.iter(|| black_box(run_recovery_ab(black_box(&small))))
+    });
+}
+
+criterion_group!(
+    name = enhancements;
+    config = Criterion::default().sample_size(10);
+    targets = bench_timp_eval, bench_timp_anneal, bench_fig19_20, bench_fig21
+);
+criterion_main!(enhancements);

@@ -1,0 +1,76 @@
+//! # cellrel
+//!
+//! A simulation-based reproduction of **"A Nationwide Study on Cellular
+//! Reliability: Measurement, Analysis, and Enhancements"** (Li et al.,
+//! SIGCOMM 2021) — the cellular substrate, Android's connection-management
+//! stack, the Android-MOD measurement infrastructure, the analysis pipeline
+//! behind every table and figure, and the two deployed enhancements
+//! (Stability-Compatible RAT transition and TIMP-based Data_Stall recovery),
+//! all rebuilt in Rust.
+//!
+//! This facade re-exports the workspace crates under stable module names:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`types`] | `cellrel-types` | shared vocabulary (RATs, levels, causes, events) |
+//! | [`sim`] | `cellrel-sim` | deterministic DES kernel, RNG, statistics |
+//! | [`radio`] | `cellrel-radio` | BS deployment, propagation, EMM, interference |
+//! | [`modem`] | `cellrel-modem` | RIL modem, staged setup, cause generation |
+//! | [`netstack`] | `cellrel-netstack` | TCP counters, ICMP/DNS probes, link faults |
+//! | [`telephony`] | `cellrel-telephony` | DataConnection FSM, stall detection, recovery, RAT policies, device agent |
+//! | [`monitor`] | `cellrel-monitor` | Android-MOD: filtering, probing, traces, overhead |
+//! | [`timp`] | `cellrel-timp` | TIMP model + annealing optimizer |
+//! | [`workload`] | `cellrel-workload` | calibrated population, macro study, A/B drivers |
+//! | [`analysis`] | `cellrel-analysis` | per-table/figure estimators and renderers |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use cellrel::workload::{run_macro_study, StudyConfig};
+//! use cellrel::analysis::headline;
+//!
+//! // A small synthetic fleet over the 8-month study window.
+//! let mut cfg = StudyConfig::small();
+//! cfg.population.devices = 2_000;
+//! let dataset = run_macro_study(&cfg);
+//! let stats = headline::compute(&dataset);
+//! assert!(stats.prevalence > 0.1 && stats.prevalence < 0.35);
+//! println!("{}", stats.render());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use cellrel_analysis as analysis;
+pub use cellrel_modem as modem;
+pub use cellrel_monitor as monitor;
+pub use cellrel_netstack as netstack;
+pub use cellrel_radio as radio;
+pub use cellrel_sim as sim;
+pub use cellrel_telephony as telephony;
+pub use cellrel_timp as timp;
+pub use cellrel_types as types;
+pub use cellrel_workload as workload;
+
+/// The library version.
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn facade_reexports_compile() {
+        // Touch one symbol from each re-export so the facade can't silently
+        // drop a crate.
+        let _ = crate::types::Rat::G5;
+        let _ = crate::sim::SimRng::new(0);
+        let _ = crate::radio::DeploymentConfig::small();
+        let _ = crate::modem::FaultProfile::none();
+        let _ = crate::netstack::LinkCondition::Healthy;
+        let _ = crate::telephony::RecoveryConfig::timp_optimized();
+        let _ = crate::monitor::ProbeSession;
+        let _ = crate::timp::AnnealConfig::default();
+        let _ = crate::workload::StudyConfig::small();
+        let _ = crate::analysis::Table::new("t", &["a"]);
+        assert!(!crate::VERSION.is_empty());
+    }
+}

@@ -1,0 +1,138 @@
+//! WiFi-gated trace upload (§2.2).
+//!
+//! Traces are compressed and uploaded to the backend; for heavy users
+//! ("recorded data are uploaded to our backend server only when there is
+//! WiFi connectivity") the uploader defers until WiFi is available.
+
+use cellrel_types::SimTime;
+
+/// Compression ratio for trace batches (compact binary rows compress well).
+const COMPRESSION: f64 = 0.45;
+
+/// Pending bytes above which an upload is forced even without WiFi (safety
+/// valve so traces aren't lost; mirrors the "typical users upload over
+/// cellular because volumes are tiny" behaviour).
+const CELLULAR_OK_THRESHOLD: u64 = 64 * 1024;
+
+/// The trace uploader: batches records and flushes opportunistically.
+#[derive(Debug, Clone, Default)]
+pub struct Uploader {
+    pending_records: u64,
+    pending_bytes: u64,
+    uploaded_records: u64,
+    uploaded_bytes_compressed: u64,
+    uploads: u32,
+    last_upload: Option<SimTime>,
+}
+
+impl Uploader {
+    /// Fresh uploader.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Queue one record of `bytes` raw size.
+    pub fn enqueue(&mut self, bytes: u64) {
+        self.pending_records += 1;
+        self.pending_bytes += bytes;
+    }
+
+    /// Records waiting for upload.
+    pub fn pending_records(&self) -> u64 {
+        self.pending_records
+    }
+
+    /// Raw bytes waiting for upload.
+    pub fn pending_bytes(&self) -> u64 {
+        self.pending_bytes
+    }
+
+    /// Compressed bytes shipped so far.
+    pub fn uploaded_bytes(&self) -> u64 {
+        self.uploaded_bytes_compressed
+    }
+
+    /// Records shipped so far.
+    pub fn uploaded_records(&self) -> u64 {
+        self.uploaded_records
+    }
+
+    /// Number of upload batches.
+    pub fn uploads(&self) -> u32 {
+        self.uploads
+    }
+
+    /// An upload opportunity: flush if WiFi is available, or if the pending
+    /// volume is small enough that cellular upload is fine. Returns the
+    /// compressed bytes shipped (the caller feeds this to overhead
+    /// accounting), or `None` if nothing was shipped.
+    pub fn try_upload(&mut self, now: SimTime, wifi_available: bool) -> Option<(u64, u64)> {
+        if self.pending_records == 0 {
+            return None;
+        }
+        let small = self.pending_bytes <= CELLULAR_OK_THRESHOLD;
+        if !wifi_available && !small {
+            return None;
+        }
+        let records = self.pending_records;
+        let compressed = (self.pending_bytes as f64 * COMPRESSION).ceil() as u64;
+        self.uploaded_records += records;
+        self.uploaded_bytes_compressed += compressed;
+        self.uploads += 1;
+        self.pending_records = 0;
+        self.pending_bytes = 0;
+        self.last_upload = Some(now);
+        Some((records, compressed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_batches_upload_over_cellular() {
+        let mut u = Uploader::new();
+        u.enqueue(35);
+        u.enqueue(35);
+        let (records, bytes) = u
+            .try_upload(SimTime::from_secs(10), false)
+            .expect("small batch uploads without wifi");
+        assert_eq!(records, 2);
+        assert!(bytes < 70, "compression must shrink the batch: {bytes}");
+        assert_eq!(u.pending_records(), 0);
+    }
+
+    #[test]
+    fn large_batches_wait_for_wifi() {
+        let mut u = Uploader::new();
+        for _ in 0..3000 {
+            u.enqueue(35); // 105 KB > threshold
+        }
+        assert!(u.try_upload(SimTime::from_secs(1), false).is_none());
+        assert_eq!(u.pending_records(), 3000);
+        let (records, _) = u
+            .try_upload(SimTime::from_secs(2), true)
+            .expect("wifi flushes");
+        assert_eq!(records, 3000);
+    }
+
+    #[test]
+    fn empty_uploader_is_quiet() {
+        let mut u = Uploader::new();
+        assert!(u.try_upload(SimTime::ZERO, true).is_none());
+        assert_eq!(u.uploads(), 0);
+    }
+
+    #[test]
+    fn totals_accumulate() {
+        let mut u = Uploader::new();
+        u.enqueue(100);
+        u.try_upload(SimTime::from_secs(1), true);
+        u.enqueue(100);
+        u.try_upload(SimTime::from_secs(2), true);
+        assert_eq!(u.uploaded_records(), 2);
+        assert_eq!(u.uploads(), 2);
+        assert!(u.uploaded_bytes() >= 90);
+    }
+}

@@ -1,0 +1,168 @@
+//! Kernel-style TCP segment accounting and the Data_Stall predicate.
+
+use cellrel_types::{SimDuration, SimTime};
+use std::collections::VecDeque;
+
+/// Android's Data_Stall thresholds (§2.1): more than 10 outbound TCP
+/// segments with zero inbound segments within the last minute.
+pub const STALL_MIN_SENT: usize = 10;
+
+/// The detection window.
+pub const STALL_WINDOW: SimDuration = SimDuration::from_secs(60);
+
+/// Sliding-window TCP segment accounting, as the kernel network stack keeps
+/// it. Timestamps outside the window are pruned on every operation, so
+/// memory stays bounded by the per-window traffic volume.
+#[derive(Debug, Clone, Default)]
+pub struct TcpAccounting {
+    sent: VecDeque<SimTime>,
+    received: VecDeque<SimTime>,
+}
+
+impl TcpAccounting {
+    /// Fresh, empty counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn prune(&mut self, now: SimTime) {
+        let cutoff = now.since(SimTime::ZERO).saturating_sub(STALL_WINDOW);
+        let cutoff = SimTime::ZERO + cutoff;
+        while self.sent.front().is_some_and(|&t| t < cutoff) {
+            self.sent.pop_front();
+        }
+        while self.received.front().is_some_and(|&t| t < cutoff) {
+            self.received.pop_front();
+        }
+    }
+
+    /// Record `n` outbound segments at `now`.
+    pub fn record_sent(&mut self, now: SimTime, n: usize) {
+        self.prune(now);
+        // Only the count within the window matters; cap retained timestamps
+        // at a comfortable multiple of the threshold.
+        for _ in 0..n.min(4 * STALL_MIN_SENT) {
+            self.sent.push_back(now);
+        }
+    }
+
+    /// Record `n` inbound segments at `now`.
+    pub fn record_received(&mut self, now: SimTime, n: usize) {
+        self.prune(now);
+        for _ in 0..n.min(4 * STALL_MIN_SENT) {
+            self.received.push_back(now);
+        }
+    }
+
+    /// Outbound segments within the last window.
+    pub fn sent_in_window(&mut self, now: SimTime) -> usize {
+        self.prune(now);
+        self.sent.len()
+    }
+
+    /// Inbound segments within the last window.
+    pub fn received_in_window(&mut self, now: SimTime) -> usize {
+        self.prune(now);
+        self.received.len()
+    }
+
+    /// Android's Data_Stall predicate over the current window.
+    pub fn stall_detected(&mut self, now: SimTime) -> bool {
+        self.prune(now);
+        self.sent.len() > STALL_MIN_SENT && self.received.is_empty()
+    }
+
+    /// Reset all counters (connection cleanup does this).
+    pub fn reset(&mut self) {
+        self.sent.clear();
+        self.received.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quiet_stack_never_stalls() {
+        let mut tcp = TcpAccounting::new();
+        assert!(!tcp.stall_detected(SimTime::from_secs(100)));
+    }
+
+    #[test]
+    fn healthy_traffic_is_not_a_stall() {
+        let mut tcp = TcpAccounting::new();
+        let t = SimTime::from_secs(10);
+        tcp.record_sent(t, 20);
+        tcp.record_received(t + SimDuration::from_millis(50), 20);
+        assert!(!tcp.stall_detected(t + SimDuration::from_secs(1)));
+    }
+
+    #[test]
+    fn blackhole_traffic_trips_the_predicate() {
+        let mut tcp = TcpAccounting::new();
+        let t = SimTime::from_secs(10);
+        tcp.record_sent(t, 11);
+        assert!(tcp.stall_detected(t + SimDuration::from_secs(30)));
+    }
+
+    #[test]
+    fn exactly_ten_sent_is_not_enough() {
+        // The rule is *over* 10 outbound segments.
+        let mut tcp = TcpAccounting::new();
+        let t = SimTime::from_secs(10);
+        tcp.record_sent(t, 10);
+        assert!(!tcp.stall_detected(t));
+        tcp.record_sent(t, 1);
+        assert!(tcp.stall_detected(t));
+    }
+
+    #[test]
+    fn a_single_inbound_segment_clears_the_stall() {
+        let mut tcp = TcpAccounting::new();
+        let t = SimTime::from_secs(10);
+        tcp.record_sent(t, 30);
+        assert!(tcp.stall_detected(t));
+        tcp.record_received(t + SimDuration::from_secs(1), 1);
+        assert!(!tcp.stall_detected(t + SimDuration::from_secs(1)));
+    }
+
+    #[test]
+    fn window_expiry_forgets_old_traffic() {
+        let mut tcp = TcpAccounting::new();
+        let t = SimTime::from_secs(10);
+        tcp.record_sent(t, 30);
+        assert!(tcp.stall_detected(t + SimDuration::from_secs(59)));
+        // 61 s later the sends fell out of the window.
+        assert!(!tcp.stall_detected(t + SimDuration::from_secs(61)));
+        assert_eq!(tcp.sent_in_window(t + SimDuration::from_secs(61)), 0);
+    }
+
+    #[test]
+    fn old_inbound_does_not_mask_a_new_stall() {
+        let mut tcp = TcpAccounting::new();
+        tcp.record_received(SimTime::from_secs(0), 5);
+        let t = SimTime::from_secs(120);
+        tcp.record_sent(t, 15);
+        assert!(tcp.stall_detected(t + SimDuration::from_secs(5)));
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut tcp = TcpAccounting::new();
+        let t = SimTime::from_secs(5);
+        tcp.record_sent(t, 15);
+        tcp.reset();
+        assert!(!tcp.stall_detected(t));
+        assert_eq!(tcp.sent_in_window(t), 0);
+    }
+
+    #[test]
+    fn memory_is_bounded() {
+        let mut tcp = TcpAccounting::new();
+        let t = SimTime::from_secs(5);
+        tcp.record_sent(t, 1_000_000);
+        assert!(tcp.sent_in_window(t) <= 4 * STALL_MIN_SENT);
+        assert!(tcp.stall_detected(t));
+    }
+}

@@ -1,0 +1,32 @@
+//! # cellrel-sim
+//!
+//! The deterministic discrete-event simulation kernel underpinning every
+//! experiment in the `cellrel` workspace, plus the random-number and
+//! statistics toolkit the other crates share.
+//!
+//! Design notes (following the workspace guides):
+//!
+//! * **Event-driven and synchronous.** The workload is CPU-bound simulation,
+//!   so the kernel is a plain event loop over a binary heap — no async
+//!   runtime, no threads, no wall-clock time.
+//! * **Deterministic.** All randomness flows from a single seed through
+//!   [`SimRng`]; forked sub-streams are derived with SplitMix64 so component
+//!   seeds are independent yet reproducible. Two runs with the same seed
+//!   produce byte-identical traces.
+//! * **Self-contained.** Distribution sampling (exponential, log-normal,
+//!   Pareto, Zipf, empirical) and statistics (summaries, ECDFs, histograms,
+//!   regression, Zipf fitting) are implemented here rather than pulled in as
+//!   dependencies, keeping the dependency surface to `rand` alone.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dist;
+pub mod queue;
+pub mod rng;
+pub mod stats;
+
+pub use dist::{Empirical, LogNormalDist, ParetoDist, WeightedIndex, ZipfDist};
+pub use queue::{EventHandler, EventQueue, EventToken};
+pub use rng::SimRng;
+pub use stats::{bootstrap_mean_ci, fit_zipf, linreg, percentile, Ecdf, Histogram, Summary};

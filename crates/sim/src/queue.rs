@@ -1,0 +1,308 @@
+//! The discrete-event queue and simulation driver.
+//!
+//! [`EventQueue`] is a time-ordered priority queue of typed events with
+//! stable FIFO ordering for simultaneous events and O(log n) cancellation
+//! via tombstones. Popping an event advances the simulation clock; time
+//! never moves backwards.
+
+use cellrel_types::{SimDuration, SimTime};
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+
+/// Handle to a scheduled event, used to cancel it before it fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventToken(u64);
+
+#[derive(Debug)]
+struct Entry<E> {
+    at: SimTime,
+    seq: u64,
+    event: E,
+}
+
+// Min-heap ordering: earliest time first; FIFO (lowest seq) among equals.
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest entry on top.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic, cancellable discrete-event queue.
+///
+/// ```
+/// use cellrel_sim::EventQueue;
+/// use cellrel_types::{SimDuration, SimTime};
+///
+/// let mut q: EventQueue<&str> = EventQueue::new();
+/// q.schedule_after(SimDuration::from_secs(10), "b");
+/// q.schedule_after(SimDuration::from_secs(5), "a");
+/// let tok = q.schedule_after(SimDuration::from_secs(7), "cancelled");
+/// q.cancel(tok);
+///
+/// assert_eq!(q.pop(), Some((SimTime::from_secs(5), "a")));
+/// assert_eq!(q.pop(), Some((SimTime::from_secs(10), "b")));
+/// assert_eq!(q.pop(), None);
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    /// Seqs of events currently scheduled (in the heap, not yet fired or
+    /// skimmed). Membership here is what makes cancellation exact.
+    pending: HashSet<u64>,
+    /// Seqs cancelled while still pending; lazily removed from the heap.
+    cancelled: HashSet<u64>,
+    now: SimTime,
+    next_seq: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue with the clock at `SimTime::ZERO`.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            pending: HashSet::new(),
+            cancelled: HashSet::new(),
+            now: SimTime::ZERO,
+            next_seq: 0,
+        }
+    }
+
+    /// Current simulation time (the timestamp of the last popped event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of live (non-cancelled) scheduled events.
+    pub fn len(&self) -> usize {
+        self.heap.len() - self.cancelled.len()
+    }
+
+    /// True if no live events remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Schedule `event` at absolute time `at`.
+    ///
+    /// # Panics
+    /// Panics if `at` is in the past — the simulation never time-travels,
+    /// and a past-dated event is always a logic bug in the caller.
+    pub fn schedule_at(&mut self, at: SimTime, event: E) -> EventToken {
+        assert!(
+            at >= self.now,
+            "scheduled event at {at} before current time {}",
+            self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { at, seq, event });
+        self.pending.insert(seq);
+        EventToken(seq)
+    }
+
+    /// Schedule `event` after a delay from the current time.
+    pub fn schedule_after(&mut self, delay: SimDuration, event: E) -> EventToken {
+        self.schedule_at(self.now + delay, event)
+    }
+
+    /// Cancel a previously scheduled event. Returns `false` if the event has
+    /// already fired or was already cancelled.
+    pub fn cancel(&mut self, token: EventToken) -> bool {
+        if !self.pending.remove(&token.0) {
+            return false;
+        }
+        self.cancelled.insert(token.0);
+        true
+    }
+
+    /// Timestamp of the next live event, without popping it.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        self.skim_cancelled();
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Pop the next live event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.skim_cancelled();
+        let entry = self.heap.pop()?;
+        self.pending.remove(&entry.seq);
+        debug_assert!(entry.at >= self.now);
+        self.now = entry.at;
+        Some((entry.at, entry.event))
+    }
+
+    /// Drop any cancelled entries sitting on top of the heap.
+    fn skim_cancelled(&mut self) {
+        while let Some(top) = self.heap.peek() {
+            if self.cancelled.remove(&top.seq) {
+                self.heap.pop();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Discard all pending events (the clock is unchanged).
+    pub fn clear(&mut self) {
+        self.heap.clear();
+        self.pending.clear();
+        self.cancelled.clear();
+    }
+}
+
+/// A component that consumes events and may schedule follow-ups.
+pub trait EventHandler<E> {
+    /// Handle one event that fired at time `at`.
+    fn handle(&mut self, at: SimTime, event: E, queue: &mut EventQueue<E>);
+}
+
+impl<E> EventQueue<E> {
+    /// Run the simulation loop until the queue drains or the clock passes
+    /// `until`. Events scheduled exactly at `until` still fire. Returns the
+    /// number of events dispatched.
+    pub fn run_until<H: EventHandler<E>>(&mut self, handler: &mut H, until: SimTime) -> u64 {
+        let mut dispatched = 0;
+        while let Some(at) = self.peek_time() {
+            if at > until {
+                break;
+            }
+            let (at, ev) = self.pop().expect("peeked event vanished");
+            handler.handle(at, ev, self);
+            dispatched += 1;
+        }
+        dispatched
+    }
+
+    /// Run until the queue drains completely. Returns events dispatched.
+    pub fn run_to_completion<H: EventHandler<E>>(&mut self, handler: &mut H) -> u64 {
+        self.run_until(handler, SimTime::MAX)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_secs(3), 3u32);
+        q.schedule_at(SimTime::from_secs(1), 1u32);
+        q.schedule_at(SimTime::from_secs(2), 2u32);
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+        assert_eq!(q.now(), SimTime::from_secs(3));
+    }
+
+    #[test]
+    fn simultaneous_events_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..10u32 {
+            q.schedule_at(SimTime::from_secs(5), i);
+        }
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cancellation() {
+        let mut q = EventQueue::new();
+        let t1 = q.schedule_at(SimTime::from_secs(1), "a");
+        q.schedule_at(SimTime::from_secs(2), "b");
+        assert!(q.cancel(t1));
+        assert!(!q.cancel(t1), "double-cancel must return false");
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop(), Some((SimTime::from_secs(2), "b")));
+    }
+
+    #[test]
+    fn cancel_after_fire_is_noop() {
+        let mut q = EventQueue::new();
+        let t = q.schedule_at(SimTime::from_secs(1), ());
+        q.pop();
+        assert!(!q.cancel(t), "cancelling a fired event must return false");
+        let t2 = q.schedule_at(SimTime::from_secs(2), ());
+        assert_ne!(t, t2, "tokens are never reused");
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop(), Some((SimTime::from_secs(2), ())));
+    }
+
+    #[test]
+    #[should_panic(expected = "before current time")]
+    fn scheduling_in_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_secs(10), ());
+        q.pop();
+        q.schedule_at(SimTime::from_secs(5), ());
+    }
+
+    #[test]
+    fn run_until_respects_horizon() {
+        struct Counter(u64);
+        impl EventHandler<u32> for Counter {
+            fn handle(&mut self, _at: SimTime, _ev: u32, _q: &mut EventQueue<u32>) {
+                self.0 += 1;
+            }
+        }
+        let mut q = EventQueue::new();
+        for s in 1..=10 {
+            q.schedule_at(SimTime::from_secs(s), s as u32);
+        }
+        let mut c = Counter(0);
+        let n = q.run_until(&mut c, SimTime::from_secs(5));
+        assert_eq!(n, 5);
+        assert_eq!(c.0, 5);
+        assert_eq!(q.len(), 5);
+    }
+
+    #[test]
+    fn handlers_can_schedule_followups() {
+        struct Chain {
+            fired: Vec<u64>,
+        }
+        impl EventHandler<u64> for Chain {
+            fn handle(&mut self, at: SimTime, ev: u64, q: &mut EventQueue<u64>) {
+                self.fired.push(ev);
+                if ev < 5 {
+                    q.schedule_at(at + SimDuration::from_secs(1), ev + 1);
+                }
+            }
+        }
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_secs(0), 1);
+        let mut h = Chain { fired: vec![] };
+        q.run_to_completion(&mut h);
+        assert_eq!(h.fired, vec![1, 2, 3, 4, 5]);
+        assert_eq!(q.now(), SimTime::from_secs(4));
+    }
+
+    #[test]
+    fn clear_empties_queue() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_secs(1), ());
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.pop(), None);
+    }
+}

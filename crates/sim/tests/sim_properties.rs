@@ -1,0 +1,123 @@
+//! Property-based tests for the simulation kernel's RNG, distributions and
+//! statistics.
+
+use cellrel_sim::{fit_zipf, percentile, Ecdf, Empirical, SimRng, WeightedIndex, ZipfDist};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn uniform_draws_stay_in_range(seed in 0u64..10_000, lo in 0u64..1000, span in 1u64..1000) {
+        let mut rng = SimRng::new(seed);
+        for _ in 0..50 {
+            let v = rng.range_u64(lo, lo + span);
+            prop_assert!((lo..lo + span).contains(&v));
+            let f = rng.f64();
+            prop_assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn forked_streams_are_reproducible(seed in 0u64..10_000, salt in 0u64..10_000) {
+        let mut a = SimRng::new(seed);
+        let mut b = SimRng::new(seed);
+        let mut fa = a.fork(salt);
+        let mut fb = b.fork(salt);
+        for _ in 0..16 {
+            prop_assert_eq!(fa.f64().to_bits(), fb.f64().to_bits());
+        }
+    }
+
+    #[test]
+    fn exp_and_pareto_are_nonnegative(seed in 0u64..5000, mean in 0.1f64..1000.0) {
+        let mut rng = SimRng::new(seed);
+        for _ in 0..20 {
+            prop_assert!(rng.exp(mean) >= 0.0);
+            prop_assert!(rng.pareto(mean, 1.1) >= mean);
+            prop_assert!(rng.lognormal(0.0, 1.0) > 0.0);
+        }
+    }
+
+    #[test]
+    fn weighted_index_never_picks_zero_weight(
+        seed in 0u64..5000,
+        idx in 0usize..5,
+    ) {
+        let mut weights = vec![1.0f64; 5];
+        weights[idx] = 0.0;
+        let w = WeightedIndex::new(&weights);
+        let mut rng = SimRng::new(seed);
+        for _ in 0..100 {
+            prop_assert_ne!(w.sample(&mut rng), idx);
+        }
+    }
+
+    #[test]
+    fn weighted_index_probabilities_sum_to_one(
+        weights in prop::collection::vec(0.01f64..100.0, 1..20)
+    ) {
+        let w = WeightedIndex::new(&weights);
+        let total: f64 = (0..w.len()).map(|i| w.probability(i)).sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zipf_samples_in_range(seed in 0u64..5000, n in 1usize..500) {
+        let z = ZipfDist::new(n, 0.82);
+        let mut rng = SimRng::new(seed);
+        for _ in 0..50 {
+            prop_assert!(z.sample(&mut rng) < n);
+        }
+    }
+
+    #[test]
+    fn empirical_quantiles_bracket_support(
+        xs in prop::collection::vec(-1e4f64..1e4, 1..100),
+        q in 0.0f64..1.0,
+    ) {
+        let e = Empirical::new(xs.clone());
+        let v = e.quantile(q);
+        prop_assert!(v >= e.min() - 1e-9 && v <= e.max() + 1e-9);
+        // Sampling stays in support.
+        let mut rng = SimRng::new(1);
+        let s = e.sample(&mut rng);
+        prop_assert!(xs.contains(&s));
+    }
+
+    #[test]
+    fn ecdf_and_percentile_agree_on_extremes(
+        mut xs in prop::collection::vec(-1e4f64..1e4, 2..100)
+    ) {
+        let e = Ecdf::new(xs.clone());
+        xs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        prop_assert_eq!(percentile(&xs, 0.0), e.min());
+        prop_assert_eq!(percentile(&xs, 1.0), e.max());
+        prop_assert!(e.median() >= e.min() && e.median() <= e.max());
+    }
+
+    #[test]
+    fn zipf_fit_recovers_synthetic_exponents(a in 0.3f64..1.5, b in 8.0f64..15.0) {
+        // Integer rounding of tiny counts distorts log-log fits, so only
+        // fit the portion of the ranking with substantial counts — exactly
+        // what the Fig. 11 analysis does with its head-of-ranking fit.
+        let counts: Vec<u64> = (1..=500u64)
+            .map(|rank| (b - a * (rank as f64).ln()).exp().round() as u64)
+            .take_while(|&c| c >= 20)
+            .collect();
+        prop_assume!(counts.len() >= 10);
+        let (fit_a, fit_b, r2) = fit_zipf(&counts);
+        prop_assert!((fit_a - a).abs() < 0.1, "a {a} fit {fit_a}");
+        prop_assert!((fit_b - b).abs() < 0.3, "b {b} fit {fit_b}");
+        prop_assert!(r2 > 0.95);
+    }
+
+    #[test]
+    fn poisson_is_nonnegative_and_bounded_in_probability(
+        seed in 0u64..2000,
+        mean in 0.0f64..200.0,
+    ) {
+        let mut rng = SimRng::new(seed);
+        let v = rng.poisson(mean);
+        // 20 standard deviations above the mean is astronomically unlikely.
+        prop_assert!((v as f64) < mean + 20.0 * mean.sqrt() + 20.0);
+    }
+}

@@ -1,0 +1,145 @@
+//! `ServiceStateTracker` — Out_of_Service detection.
+//!
+//! `Out_of_Service` (§1, §2.1): "the data connection has been established,
+//! but the mobile device cannot receive cellular data". The tracker watches
+//! the effective service condition and measures outage spans.
+
+use cellrel_types::{ServiceState, SimDuration, SimTime};
+
+/// Tracks the device's service state over time and measures
+/// `Out_of_Service` episodes.
+#[derive(Debug, Clone)]
+pub struct ServiceStateTracker {
+    state: ServiceState,
+    outage_started: Option<SimTime>,
+    completed_outages: Vec<(SimTime, SimDuration)>,
+}
+
+impl Default for ServiceStateTracker {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ServiceStateTracker {
+    /// A tracker starting in service.
+    pub fn new() -> Self {
+        ServiceStateTracker {
+            state: ServiceState::InService,
+            outage_started: None,
+            completed_outages: Vec::new(),
+        }
+    }
+
+    /// Current service state.
+    pub fn state(&self) -> ServiceState {
+        self.state
+    }
+
+    /// Whether an outage is in progress.
+    pub fn in_outage(&self) -> bool {
+        self.outage_started.is_some()
+    }
+
+    /// Completed outages as `(start, duration)`.
+    pub fn outages(&self) -> &[(SimTime, SimDuration)] {
+        &self.completed_outages
+    }
+
+    /// Update the service state; returns the finished outage duration when a
+    /// transition closes an Out_of_Service episode.
+    pub fn update(&mut self, now: SimTime, new_state: ServiceState) -> Option<SimDuration> {
+        if new_state == self.state {
+            return None;
+        }
+        let mut finished = None;
+        // Entering an outage.
+        if new_state == ServiceState::OutOfService && self.outage_started.is_none() {
+            self.outage_started = Some(now);
+        }
+        // Leaving an outage (to anything but OutOfService; PowerOff ends the
+        // *measured* outage because the user action supersedes it).
+        if self.state == ServiceState::OutOfService {
+            if let Some(start) = self.outage_started.take() {
+                let d = now.since(start);
+                self.completed_outages.push((start, d));
+                finished = Some(d);
+            }
+        }
+        self.state = new_state;
+        finished
+    }
+
+    /// Total outage time accumulated so far (completed episodes only).
+    pub fn total_outage(&self) -> SimDuration {
+        self.completed_outages
+            .iter()
+            .fold(SimDuration::ZERO, |acc, &(_, d)| acc + d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn starts_in_service() {
+        let sst = ServiceStateTracker::new();
+        assert_eq!(sst.state(), ServiceState::InService);
+        assert!(!sst.in_outage());
+    }
+
+    #[test]
+    fn measures_outage_span() {
+        let mut sst = ServiceStateTracker::new();
+        assert_eq!(sst.update(t(10), ServiceState::OutOfService), None);
+        assert!(sst.in_outage());
+        let d = sst.update(t(95), ServiceState::InService);
+        assert_eq!(d, Some(SimDuration::from_secs(85)));
+        assert_eq!(sst.outages().len(), 1);
+        assert_eq!(sst.total_outage(), SimDuration::from_secs(85));
+    }
+
+    #[test]
+    fn repeated_same_state_is_noop() {
+        let mut sst = ServiceStateTracker::new();
+        sst.update(t(10), ServiceState::OutOfService);
+        assert_eq!(sst.update(t(20), ServiceState::OutOfService), None);
+        let d = sst.update(t(30), ServiceState::InService);
+        assert_eq!(d, Some(SimDuration::from_secs(20)));
+    }
+
+    #[test]
+    fn power_off_closes_outage() {
+        let mut sst = ServiceStateTracker::new();
+        sst.update(t(10), ServiceState::OutOfService);
+        let d = sst.update(t(40), ServiceState::PowerOff);
+        assert_eq!(d, Some(SimDuration::from_secs(30)));
+        assert_eq!(sst.state(), ServiceState::PowerOff);
+        assert!(!sst.in_outage());
+    }
+
+    #[test]
+    fn multiple_outages_accumulate() {
+        let mut sst = ServiceStateTracker::new();
+        sst.update(t(0), ServiceState::OutOfService);
+        sst.update(t(10), ServiceState::InService);
+        sst.update(t(100), ServiceState::OutOfService);
+        sst.update(t(130), ServiceState::InService);
+        assert_eq!(sst.outages().len(), 2);
+        assert_eq!(sst.total_outage(), SimDuration::from_secs(40));
+    }
+
+    #[test]
+    fn emergency_only_is_not_an_outage_end_to_outage() {
+        let mut sst = ServiceStateTracker::new();
+        sst.update(t(0), ServiceState::EmergencyOnly);
+        assert!(!sst.in_outage());
+        sst.update(t(5), ServiceState::OutOfService);
+        assert!(sst.in_outage());
+    }
+}

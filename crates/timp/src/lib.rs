@@ -1,0 +1,23 @@
+//! # cellrel-timp
+//!
+//! The paper's second deployed enhancement (§4.2): replace Android's fixed
+//! one-minute recovery probations with values derived from a
+//! **time-inhomogeneous Markov process** (TIMP) model of the Data_Stall
+//! recovery process (Fig. 18), optimised with simulated annealing.
+//!
+//! * [`model`] — [`TimpModel`]: the five-state recovery process
+//!   (S₀…S₃, S_e) with time-dependent recovery probabilities built from
+//!   measured stall-duration data, and the expected-recovery-time
+//!   functional of Eq. 1.
+//! * [`anneal`] — the simulated-annealing search over probation triples
+//!   (the paper's result: Pro = (21 s, 6 s, 16 s), T ≈ 27.8 s, vs 38 s for
+//!   the vanilla 60/60/60 trigger).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod anneal;
+pub mod model;
+
+pub use anneal::{anneal_probations, AnnealConfig, AnnealResult};
+pub use model::TimpModel;

@@ -1,0 +1,225 @@
+//! Received signal strength and Android signal levels.
+//!
+//! Android buckets raw received signal strength (RSS) into discrete *signal
+//! levels*. The paper uses a 0–5 scale (level 0 = worst, level 5 =
+//! "excellent"); Figures 15–17 are keyed entirely on these levels, so the
+//! mapping is part of the reproduction surface.
+//!
+//! The thresholds below follow the spirit of Android's
+//! `SignalStrength`/`CellSignalStrength*` buckets (RSRP for LTE/NR, RSCP for
+//! UMTS, RSSI for GSM), extended from Android's 0–4 scale to the paper's 0–5
+//! scale by splitting the top "great" bucket into *good* (4) and *excellent*
+//! (5).
+
+use crate::rat::Rat;
+use std::fmt;
+
+/// Raw received signal strength in dBm (RSRP for 4G/5G, RSCP for 3G,
+/// RSSI for 2G). Stored as `f64`; finer than any bucketing needs.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct RssDbm(pub f64);
+
+impl RssDbm {
+    /// The dBm value.
+    pub const fn dbm(self) -> f64 {
+        self.0
+    }
+}
+
+impl fmt::Display for RssDbm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.1} dBm", self.0)
+    }
+}
+
+/// An Android-style discrete signal level, 0 (worst) ..= 5 (excellent),
+/// matching the scale used throughout the paper's Figures 15–17.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SignalLevel(u8);
+
+impl SignalLevel {
+    /// Worst level: signal effectively absent.
+    pub const L0: SignalLevel = SignalLevel(0);
+    /// Poor.
+    pub const L1: SignalLevel = SignalLevel(1);
+    /// Moderate.
+    pub const L2: SignalLevel = SignalLevel(2);
+    /// Fair.
+    pub const L3: SignalLevel = SignalLevel(3);
+    /// Good.
+    pub const L4: SignalLevel = SignalLevel(4);
+    /// Excellent — the level at which the paper observes the failure anomaly.
+    pub const L5: SignalLevel = SignalLevel(5);
+
+    /// All levels ascending.
+    pub const ALL: [SignalLevel; 6] = [
+        SignalLevel(0),
+        SignalLevel(1),
+        SignalLevel(2),
+        SignalLevel(3),
+        SignalLevel(4),
+        SignalLevel(5),
+    ];
+
+    /// Number of distinct levels.
+    pub const COUNT: usize = 6;
+
+    /// Construct from a raw value, clamping into 0..=5.
+    pub const fn new(level: u8) -> Self {
+        if level > 5 {
+            SignalLevel(5)
+        } else {
+            SignalLevel(level)
+        }
+    }
+
+    /// The raw level value (0..=5).
+    pub const fn value(self) -> u8 {
+        self.0
+    }
+
+    /// Usable as an array index (0..=5).
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Bucket a raw RSS reading for the given RAT into a level.
+    ///
+    /// Thresholds per RAT (in dBm, lower bound of each level):
+    ///
+    /// | RAT | metric | L1 | L2 | L3 | L4 | L5 |
+    /// |-----|--------|----|----|----|----|----|
+    /// | 2G  | RSSI   | -107 | -103 | -97 | -89 | -80 |
+    /// | 3G  | RSCP   | -112 | -105 | -99 | -93 | -85 |
+    /// | 4G  | RSRP   | -124 | -115 | -105 | -95 | -85 |
+    /// | 5G  | SS-RSRP| -125 | -115 | -105 | -95 | -85 |
+    pub fn from_rss(rss: RssDbm, rat: Rat) -> SignalLevel {
+        let t = Self::thresholds(rat);
+        let v = rss.0;
+        let mut level = 0u8;
+        for (i, &lo) in t.iter().enumerate() {
+            if v >= lo {
+                level = (i + 1) as u8;
+            }
+        }
+        SignalLevel(level)
+    }
+
+    /// Lower-bound dBm thresholds for levels 1..=5 for the given RAT.
+    pub const fn thresholds(rat: Rat) -> [f64; 5] {
+        match rat {
+            Rat::G2 => [-107.0, -103.0, -97.0, -89.0, -80.0],
+            Rat::G3 => [-112.0, -105.0, -99.0, -93.0, -85.0],
+            Rat::G4 => [-124.0, -115.0, -105.0, -95.0, -85.0],
+            Rat::G5 => [-125.0, -115.0, -105.0, -95.0, -85.0],
+        }
+    }
+
+    /// A representative mid-bucket RSS for this level under the given RAT,
+    /// useful for synthesising raw readings from a level.
+    pub fn representative_rss(self, rat: Rat) -> RssDbm {
+        let t = Self::thresholds(rat);
+        let v = match self.0 {
+            0 => t[0] - 6.0,
+            1 => (t[0] + t[1]) / 2.0,
+            2 => (t[1] + t[2]) / 2.0,
+            3 => (t[2] + t[3]) / 2.0,
+            4 => (t[3] + t[4]) / 2.0,
+            _ => t[4] + 5.0,
+        };
+        RssDbm(v)
+    }
+}
+
+impl fmt::Display for SignalLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "level-{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clamping() {
+        assert_eq!(SignalLevel::new(9), SignalLevel::L5);
+        assert_eq!(SignalLevel::new(0), SignalLevel::L0);
+    }
+
+    #[test]
+    fn bucketing_is_monotone() {
+        for rat in Rat::ALL {
+            let mut last = SignalLevel::L0;
+            let mut v = -140.0;
+            while v <= -60.0 {
+                let lvl = SignalLevel::from_rss(RssDbm(v), rat);
+                assert!(lvl >= last, "level not monotone at {v} dBm for {rat}");
+                last = lvl;
+                v += 0.5;
+            }
+            assert_eq!(last, SignalLevel::L5);
+        }
+    }
+
+    #[test]
+    fn lte_thresholds_match_doc() {
+        assert_eq!(
+            SignalLevel::from_rss(RssDbm(-130.0), Rat::G4),
+            SignalLevel::L0
+        );
+        assert_eq!(
+            SignalLevel::from_rss(RssDbm(-120.0), Rat::G4),
+            SignalLevel::L1
+        );
+        assert_eq!(
+            SignalLevel::from_rss(RssDbm(-110.0), Rat::G4),
+            SignalLevel::L2
+        );
+        assert_eq!(
+            SignalLevel::from_rss(RssDbm(-100.0), Rat::G4),
+            SignalLevel::L3
+        );
+        assert_eq!(
+            SignalLevel::from_rss(RssDbm(-90.0), Rat::G4),
+            SignalLevel::L4
+        );
+        assert_eq!(
+            SignalLevel::from_rss(RssDbm(-80.0), Rat::G4),
+            SignalLevel::L5
+        );
+    }
+
+    #[test]
+    fn representative_rss_round_trips() {
+        for rat in Rat::ALL {
+            for lvl in SignalLevel::ALL {
+                let rss = lvl.representative_rss(rat);
+                assert_eq!(
+                    SignalLevel::from_rss(rss, rat),
+                    lvl,
+                    "representative RSS for {lvl} under {rat} did not round-trip"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn exact_threshold_lands_in_upper_bucket() {
+        // A reading exactly on a lower bound belongs to that level.
+        assert_eq!(
+            SignalLevel::from_rss(RssDbm(-85.0), Rat::G4),
+            SignalLevel::L5
+        );
+        assert_eq!(
+            SignalLevel::from_rss(RssDbm(-124.0), Rat::G4),
+            SignalLevel::L1
+        );
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(SignalLevel::L3.to_string(), "level-3");
+        assert_eq!(RssDbm(-97.25).to_string(), "-97.2 dBm");
+    }
+}

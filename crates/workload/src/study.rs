@@ -1,0 +1,375 @@
+//! The macro population study driver.
+//!
+//! Generates the full eight-month failure dataset for a synthetic
+//! population: per-device failure counts (Table 1 calibration), per-failure
+//! kind / RAT / signal level / BS / cause / duration, all drawn from the
+//! calibrated samplers of the sibling modules. The output is a flat
+//! [`StudyDataset`] the analysis crate consumes.
+
+use crate::bs_assign::BsAssigner;
+use crate::durations;
+use crate::exposure::FailureLevelSampler;
+use crate::population::{DeviceProfile, Population, PopulationConfig};
+use cellrel_modem::cause_mix::CauseMix;
+use cellrel_sim::SimRng;
+use cellrel_types::{
+    Apn, FailureEvent, FailureKind, InSituInfo, Rat, SimDuration, SimTime,
+};
+
+/// Macro study parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct StudyConfig {
+    /// Population parameters.
+    pub population: PopulationConfig,
+    /// Study length in days (the paper: 8 months ≈ 243 days).
+    pub days: u64,
+    /// Number of base stations in the macro directory.
+    pub bs_count: usize,
+    /// Root seed.
+    pub seed: u64,
+}
+
+impl Default for StudyConfig {
+    fn default() -> Self {
+        StudyConfig {
+            population: PopulationConfig::default(),
+            days: 243,
+            bs_count: 20_000,
+            seed: 2020,
+        }
+    }
+}
+
+impl StudyConfig {
+    /// A small configuration for unit tests.
+    pub fn small() -> Self {
+        StudyConfig {
+            population: PopulationConfig {
+                devices: 3_000,
+                ..Default::default()
+            },
+            bs_count: 2_000,
+            ..Default::default()
+        }
+    }
+}
+
+/// Share of failures by kind (§3.1: averages of 16 setup errors, 14 stalls,
+/// 3 out-of-service per phone, plus the <1 % legacy bucket).
+pub const KIND_WEIGHTS: [f64; 5] = [0.48, 0.42, 0.09, 0.008, 0.002];
+
+/// Out_of_Service is highly concentrated: 95 % of phones never see one
+/// (§3.1), yet OOS is 9 % of all failures — so the OOS mass sits on a small
+/// "OOS-prone" slice of the failing population (poor-coverage homes, remote
+/// regions). Fraction of *failing* devices that are OOS-prone:
+pub const OOS_PRONE_SHARE: f64 = 0.22;
+
+/// Kind weights for OOS-prone devices: the population OOS share divided by
+/// the prone share, with the remainder scaled down proportionally.
+pub fn kind_weights_for(oos_prone: bool) -> [f64; 5] {
+    if oos_prone {
+        let w_oos = KIND_WEIGHTS[2] / OOS_PRONE_SHARE;
+        let scale = (1.0 - w_oos - KIND_WEIGHTS[3] - KIND_WEIGHTS[4])
+            / (KIND_WEIGHTS[0] + KIND_WEIGHTS[1]);
+        [
+            KIND_WEIGHTS[0] * scale,
+            KIND_WEIGHTS[1] * scale,
+            w_oos,
+            KIND_WEIGHTS[3],
+            KIND_WEIGHTS[4],
+        ]
+    } else {
+        let scale = (1.0 - KIND_WEIGHTS[3] - KIND_WEIGHTS[4])
+            / (KIND_WEIGHTS[0] + KIND_WEIGHTS[1]);
+        [
+            KIND_WEIGHTS[0] * scale,
+            KIND_WEIGHTS[1] * scale,
+            0.0,
+            KIND_WEIGHTS[3],
+            KIND_WEIGHTS[4],
+        ]
+    }
+}
+
+/// The generated dataset.
+#[derive(Debug)]
+pub struct StudyDataset {
+    /// The configuration that produced the dataset.
+    pub config: StudyConfig,
+    /// The device population.
+    pub population: Population,
+    /// Every recorded (true) failure.
+    pub events: Vec<FailureEvent>,
+    /// Per-device failure counts (indexed by `DeviceId`).
+    pub per_device_counts: Vec<u32>,
+    /// The BS directory used for attribution.
+    pub bs: BsAssigner,
+}
+
+impl StudyDataset {
+    /// Study window length.
+    pub fn window(&self) -> SimDuration {
+        SimDuration::from_days(self.config.days)
+    }
+
+    /// Fraction of devices with ≥1 failure.
+    pub fn overall_prevalence(&self) -> f64 {
+        let failing = self.per_device_counts.iter().filter(|&&c| c > 0).count();
+        failing as f64 / self.per_device_counts.len() as f64
+    }
+
+    /// Mean failures per device (including zero-failure devices).
+    pub fn overall_frequency(&self) -> f64 {
+        self.events.len() as f64 / self.per_device_counts.len() as f64
+    }
+}
+
+/// RAT usage mix for failures, by device capability. Non-5G devices live
+/// mostly on 4G with legacy fallback; 5G devices (all Android 10, blind 5G
+/// preference during the measurement period) shift a large share onto 5G.
+fn rat_mix(has_5g: bool) -> ([Rat; 4], [f64; 4]) {
+    const RATS: [Rat; 4] = [Rat::G2, Rat::G3, Rat::G4, Rat::G5];
+    if has_5g {
+        (RATS, [0.05, 0.03, 0.52, 0.40])
+    } else {
+        (RATS, [0.12, 0.06, 0.82, 0.0])
+    }
+}
+
+/// Run the macro study in streaming form: every generated failure event is
+/// handed to `sink` instead of being materialised, so fleets of 10⁶+
+/// devices run in memory bounded by the BS directory and per-device counts.
+/// Returns the population, per-device counts and BS directory (the parts
+/// aggregations need for denominators).
+pub fn run_macro_study_streaming(
+    cfg: &StudyConfig,
+    mut sink: impl FnMut(&FailureEvent),
+) -> (Population, Vec<u32>, BsAssigner) {
+    let mut rng = SimRng::new(cfg.seed);
+    let population = Population::generate(&cfg.population, &mut rng);
+    let bs = BsAssigner::new(cfg.bs_count, &mut rng);
+    let level_sampler = FailureLevelSampler::new();
+    let cause_mix = CauseMix::table2();
+    let window_ms = cfg.days * 86_400_000;
+
+    let mut per_device_counts = vec![0u32; population.len()];
+    let mut ev_rng = rng.fork(0xEE);
+
+    for dev in population.devices() {
+        if !ev_rng.chance(dev.failure_prevalence()) {
+            continue;
+        }
+        let count = draw_failure_count(dev, &mut ev_rng);
+        per_device_counts[dev.id.0 as usize] = count;
+        let (rats, rat_weights) = rat_mix(dev.spec().hw.has_5g_modem);
+        let oos_prone = dev.remote_region || ev_rng.chance(OOS_PRONE_SHARE - 0.03);
+        let kind_weights = kind_weights_for(oos_prone);
+        for _ in 0..count {
+            let kind = match ev_rng.weighted_index(&kind_weights) {
+                0 => FailureKind::DataSetupError,
+                1 => FailureKind::DataStall,
+                2 => FailureKind::OutOfService,
+                3 => FailureKind::SmsSendFail,
+                _ => FailureKind::VoiceSetupFail,
+            };
+            let rat = rats[ev_rng.weighted_index(&rat_weights)];
+            let level = level_sampler.sample(rat, &mut ev_rng);
+            let site = bs.assign(dev.isp, rat, &mut ev_rng);
+            let cause =
+                (kind == FailureKind::DataSetupError).then(|| cause_mix.sample(&mut ev_rng));
+            let duration = durations::sample_duration(kind, &mut ev_rng, dev.remote_region);
+            let start = SimTime::from_millis(ev_rng.range_u64(0, window_ms));
+            sink(&FailureEvent {
+                device: dev.id,
+                kind,
+                start,
+                duration,
+                cause,
+                ctx: InSituInfo {
+                    rat,
+                    signal: level,
+                    apn: Apn::Internet,
+                    bs: Some(site.id),
+                    isp: dev.isp,
+                },
+            });
+        }
+    }
+    (population, per_device_counts, bs)
+}
+
+/// Run the macro study, materialising the full event list.
+pub fn run_macro_study(cfg: &StudyConfig) -> StudyDataset {
+    let mut events = Vec::new();
+    let (population, per_device_counts, bs) =
+        run_macro_study_streaming(cfg, |e| events.push(*e));
+    StudyDataset {
+        config: *cfg,
+        population,
+        events,
+        per_device_counts,
+        bs,
+    }
+}
+
+/// Per-failing-device failure count: mean = the model's conditional mean ×
+/// proneness, drawn as a Poisson mixture (log-normal proneness already makes
+/// the marginal heavy-tailed).
+fn draw_failure_count(dev: &DeviceProfile, rng: &mut SimRng) -> u32 {
+    let mean = dev.conditional_mean_failures().max(1.0);
+    rng.poisson(mean).clamp(1, 500_000) as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cellrel_types::{Isp, PhoneModelId};
+
+    fn dataset(seed: u64) -> StudyDataset {
+        run_macro_study(&StudyConfig {
+            seed,
+            population: PopulationConfig {
+                devices: 12_000,
+                ..Default::default()
+            },
+            bs_count: 4_000,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn overall_prevalence_and_frequency_recover_table1() {
+        let d = dataset(1);
+        let prev = d.overall_prevalence();
+        let freq = d.overall_frequency();
+        // Paper: 23 % prevalence, 33 failures/device on average.
+        assert!((0.17..0.28).contains(&prev), "prevalence {prev}");
+        assert!((22.0..45.0).contains(&freq), "frequency {freq}");
+    }
+
+    #[test]
+    fn per_model_prevalence_tracks_calibration() {
+        let d = dataset(2);
+        // Check a high-population, high-prevalence model and a near-zero one.
+        for (model, expect, tol) in [
+            (PhoneModelId(28), 0.28 * 1.0, 0.06),
+            (PhoneModelId(8), 0.0015, 0.01),
+        ] {
+            let devs: Vec<_> = d
+                .population
+                .devices()
+                .iter()
+                .filter(|x| x.model == model)
+                .collect();
+            assert!(devs.len() > 50, "not enough devices of {model}");
+            let failing = devs
+                .iter()
+                .filter(|x| d.per_device_counts[x.id.0 as usize] > 0)
+                .count();
+            let prev = failing as f64 / devs.len() as f64;
+            assert!(
+                (prev - expect).abs() < tol,
+                "{model}: prevalence {prev} vs {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn kind_mix_matches_config() {
+        let d = dataset(3);
+        let n = d.events.len() as f64;
+        let stalls = d
+            .events
+            .iter()
+            .filter(|e| e.kind == FailureKind::DataStall)
+            .count() as f64
+            / n;
+        assert!((stalls - 0.42).abs() < 0.02, "stall share {stalls}");
+        let major = d.events.iter().filter(|e| e.kind.is_major()).count() as f64 / n;
+        assert!(major > 0.98, "major kinds {major}");
+    }
+
+    #[test]
+    fn isp_prevalence_ordering_matches_fig12() {
+        let d = dataset(4);
+        let prev_of = |isp: Isp| {
+            let devs: Vec<_> = d
+                .population
+                .devices()
+                .iter()
+                .filter(|x| x.isp == isp)
+                .collect();
+            devs.iter()
+                .filter(|x| d.per_device_counts[x.id.0 as usize] > 0)
+                .count() as f64
+                / devs.len() as f64
+        };
+        let (a, b, c) = (prev_of(Isp::A), prev_of(Isp::B), prev_of(Isp::C));
+        assert!(b > a && a > c, "ISP prevalence A={a} B={b} C={c}");
+    }
+
+    #[test]
+    fn setup_errors_carry_causes_others_do_not() {
+        let d = dataset(5);
+        for e in &d.events {
+            match e.kind {
+                FailureKind::DataSetupError => assert!(e.cause.is_some()),
+                _ => assert!(e.cause.is_none()),
+            }
+        }
+    }
+
+    #[test]
+    fn five_g_failures_only_on_5g_devices() {
+        let d = dataset(6);
+        for e in &d.events {
+            if e.ctx.rat == cellrel_types::Rat::G5 {
+                let dev = &d.population.devices()[e.device.0 as usize];
+                assert!(dev.spec().hw.has_5g_modem);
+            }
+        }
+    }
+
+    #[test]
+    fn events_fall_inside_the_window() {
+        let d = dataset(7);
+        let window = d.window();
+        for e in &d.events {
+            assert!(e.start.since(SimTime::ZERO) <= window);
+        }
+    }
+
+    #[test]
+    fn streaming_matches_materialised() {
+        let cfg = StudyConfig {
+            seed: 77,
+            population: PopulationConfig {
+                devices: 1_000,
+                ..Default::default()
+            },
+            bs_count: 1_000,
+            ..Default::default()
+        };
+        let full = run_macro_study(&cfg);
+        let mut count = 0usize;
+        let mut duration_sum = 0u64;
+        let (_, per_device, _) = run_macro_study_streaming(&cfg, |e| {
+            count += 1;
+            duration_sum += e.duration.as_millis();
+        });
+        assert_eq!(count, full.events.len());
+        assert_eq!(per_device, full.per_device_counts);
+        let full_sum: u64 = full.events.iter().map(|e| e.duration.as_millis()).sum();
+        assert_eq!(duration_sum, full_sum);
+    }
+
+    #[test]
+    fn study_is_deterministic() {
+        let a = dataset(8);
+        let b = dataset(8);
+        assert_eq!(a.events.len(), b.events.len());
+        assert_eq!(a.per_device_counts, b.per_device_counts);
+        assert_eq!(a.events.first(), b.events.first());
+        assert_eq!(a.events.last(), b.events.last());
+    }
+}

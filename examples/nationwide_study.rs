@@ -1,0 +1,52 @@
+//! Nationwide study: the full macro reproduction — Tables 1–2 and the
+//! fleet-level figures — on a configurable population size.
+//!
+//! ```sh
+//! cargo run --release --example nationwide_study [devices]
+//! ```
+
+use cellrel::analysis::{
+    counts, duration_stats, groups, hardware, headline, isp, per_rat, signal, stall_recovery,
+    table1, table2, transitions, zipf,
+};
+use cellrel::sim::SimRng;
+use cellrel::workload::{run_macro_study, PopulationConfig, StudyConfig};
+
+fn main() {
+    let devices: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(30_000);
+
+    let cfg = StudyConfig {
+        population: PopulationConfig {
+            devices,
+            ..Default::default()
+        },
+        bs_count: (devices * 2).clamp(5_000, 200_000),
+        seed: 2020,
+        ..Default::default()
+    };
+    eprintln!(
+        "running macro study: {} devices, {} BSes, {} days ...",
+        cfg.population.devices, cfg.bs_count, cfg.days
+    );
+    let data = run_macro_study(&cfg);
+    eprintln!("generated {} failure events\n", data.events.len());
+
+    println!("{}", headline::compute(&data).render());
+    println!("{}", table1::compute(&data).render());
+    println!("{}", table2::compute(&data, 10).render());
+    println!("{}", counts::compute(&data).render());
+    println!("{}", duration_stats::compute(&data).render());
+    println!("{}", groups::compute(&data).render());
+    println!("{}", stall_recovery::compute(&data).render());
+    println!("{}", zipf::compute(&data).render());
+    println!("{}", isp::render(&isp::compute(&data)));
+    println!("{}", per_rat::render(&per_rat::compute(&data)));
+    println!("{}", signal::compute(&data).render());
+    println!("{}", hardware::compute(&data).render());
+
+    let mut rng = SimRng::new(17);
+    println!("{}", transitions::compute(3_000, &mut rng).render());
+}

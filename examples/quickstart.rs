@@ -1,0 +1,38 @@
+//! Quickstart: run a small nationwide-style study and print the headline
+//! reliability statistics next to the paper's published values.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use cellrel::analysis::{duration_stats, headline, table2};
+use cellrel::workload::{run_macro_study, PopulationConfig, StudyConfig};
+
+fn main() {
+    // 10k synthetic devices over the paper's 8-month window — laptop-scale,
+    // but every pipeline stage is the real one.
+    let cfg = StudyConfig {
+        population: PopulationConfig {
+            devices: 10_000,
+            ..Default::default()
+        },
+        bs_count: 8_000,
+        seed: 42,
+        ..Default::default()
+    };
+
+    println!(
+        "cellrel quickstart — {} devices, {} days, seed {}\n",
+        cfg.population.devices, cfg.days, cfg.seed
+    );
+    let dataset = run_macro_study(&cfg);
+    println!(
+        "generated {} failure events across {} base stations\n",
+        dataset.events.len(),
+        dataset.bs.len()
+    );
+
+    println!("{}", headline::compute(&dataset).render());
+    println!("{}", duration_stats::compute(&dataset).render());
+    println!("{}", table2::compute(&dataset, 10).render());
+}

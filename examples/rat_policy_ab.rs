@@ -1,0 +1,40 @@
+//! RAT-policy A/B: vanilla Android 10's blind 5G preference vs the paper's
+//! Stability-Compatible transition policy with 4G/5G dual connectivity —
+//! the deployed enhancement behind Figures 19 and 20.
+//!
+//! ```sh
+//! cargo run --release --example rat_policy_ab [devices] [days]
+//! ```
+
+use cellrel::analysis::ab::compare_rat_policy;
+use cellrel::workload::{run_rat_policy_ab, AbConfig};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let devices: usize = args
+        .next()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(30);
+    let days: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(3);
+
+    let cfg = AbConfig {
+        devices,
+        days,
+        seed: 2021,
+        stall_rate_per_hour: 1.5,
+        suppress_user_reset: false,
+    };
+    println!(
+        "RAT-policy A/B: {} 5G phones per arm, {} simulated days each\n",
+        cfg.devices, cfg.days
+    );
+
+    let (vanilla, patched) = run_rat_policy_ab(&cfg);
+    let cmp = compare_rat_policy(vanilla, patched);
+    println!("{}", cmp.render());
+    println!(
+        "paper §4.3: prevalence -10%, frequency -40.3% on participating 5G phones\n\
+         (absolute numbers differ — the substrate is a simulator — but the\n\
+         direction and rough magnitude should hold)"
+    );
+}

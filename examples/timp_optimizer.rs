@@ -1,0 +1,56 @@
+//! TIMP optimizer: fit the time-inhomogeneous Markov model of Data_Stall
+//! recovery from (simulated) stall-duration measurements, then run the
+//! simulated-annealing search for the probation triple that minimises the
+//! expected recovery time — the paper's §4.2 pipeline, which produced
+//! Pro = (21 s, 6 s, 16 s) and T ≈ 27.8 s vs 38 s for vanilla Android.
+//!
+//! ```sh
+//! cargo run --release --example timp_optimizer
+//! ```
+
+use cellrel::sim::SimRng;
+use cellrel::telephony::RecoveryConfig;
+use cellrel::timp::{anneal_probations, AnnealConfig, TimpModel};
+use cellrel::workload::durations::sample_auto_heal_secs;
+
+fn main() {
+    // 1. "Measure" stall auto-recovery durations (the Fig. 10 distribution).
+    let mut rng = SimRng::new(7);
+    let samples: Vec<f64> = (0..50_000).map(|_| sample_auto_heal_secs(&mut rng)).collect();
+    let within_10 = samples.iter().filter(|&&d| d <= 10.0).count() as f64 / samples.len() as f64;
+    println!(
+        "fitted from {} stall durations; P(auto-heal ≤ 10 s) = {:.0}% (paper: 60%)",
+        samples.len(),
+        within_10 * 100.0
+    );
+
+    // 2. Fit the TIMP model with Android's recovery-operation parameters.
+    let recovery = RecoveryConfig::vanilla();
+    let model = TimpModel::from_durations(
+        &samples,
+        recovery.op_success,
+        recovery.op_cost.map(|c| c.as_secs_f64()),
+    );
+
+    // 3. Evaluate the two triggers the paper compares.
+    let t_vanilla = model.expected_recovery_time([60.0, 60.0, 60.0]);
+    let t_paper = model.expected_recovery_time([21.0, 6.0, 16.0]);
+    println!("\nexpected recovery time:");
+    println!("  vanilla (60,60,60): {t_vanilla:.1} s   (paper: 38 s)");
+    println!("  paper   (21, 6,16): {t_paper:.1} s   (paper: 27.8 s)");
+
+    // 4. Anneal for the optimum under *our* duration distribution.
+    let result = anneal_probations(&model, &AnnealConfig::default());
+    println!(
+        "  annealed {:?}: {:.1} s   ({:.0}% better than vanilla, {} accepted moves)",
+        result.probations,
+        result.expected_time,
+        result.improvement() * 100.0,
+        result.accepted_moves
+    );
+    println!(
+        "\nThe optimum depends on the duration distribution; the invariant the\n\
+         paper establishes — much shorter probations than one minute win —\n\
+         holds here too."
+    );
+}

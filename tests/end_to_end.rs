@@ -1,0 +1,116 @@
+//! End-to-end integration: the macro study feeds the full analysis pipeline
+//! and every paper-level invariant holds on one shared dataset.
+
+use cellrel::analysis as an;
+use cellrel::types::{FailureKind, Isp, Rat};
+use cellrel::workload::{run_macro_study, PopulationConfig, StudyConfig, StudyDataset};
+use std::sync::OnceLock;
+
+fn dataset() -> &'static StudyDataset {
+    static DATA: OnceLock<StudyDataset> = OnceLock::new();
+    DATA.get_or_init(|| {
+        run_macro_study(&StudyConfig {
+            population: PopulationConfig {
+                devices: 8_000,
+                ..Default::default()
+            },
+            bs_count: 10_000,
+            seed: 99,
+            ..Default::default()
+        })
+    })
+}
+
+#[test]
+fn headline_invariants() {
+    let h = an::headline::compute(dataset());
+    assert!((0.15..0.30).contains(&h.prevalence));
+    assert!((20.0..48.0).contains(&h.frequency));
+    assert!(h.kind_share[..3].iter().sum::<f64>() > 0.98);
+    assert!(h.kind_duration_share[FailureKind::DataStall.index()] > 0.8);
+}
+
+#[test]
+fn every_report_renders_nonempty() {
+    let d = dataset();
+    let reports = [
+        an::headline::compute(d).render(),
+        an::table1::compute(d).render(),
+        an::table2::compute(d, 10).render(),
+        an::per_model::render(&an::per_model::compute(d)),
+        an::counts::compute(d).render(),
+        an::duration_stats::compute(d).render(),
+        an::groups::compute(d).render(),
+        an::stall_recovery::compute(d).render(),
+        an::zipf::compute(d).render(),
+        an::isp::render(&an::isp::compute(d)),
+        an::per_rat::render(&an::per_rat::compute(d)),
+        an::signal::compute(d).render(),
+    ];
+    for (i, r) in reports.iter().enumerate() {
+        assert!(r.len() > 80, "report {i} suspiciously short: {r:?}");
+    }
+}
+
+#[test]
+fn cross_slice_consistency() {
+    // Slice totals must re-aggregate to the dataset totals.
+    let d = dataset();
+    let per_model = an::per_model::compute(d);
+    let total_from_models: f64 = per_model
+        .iter()
+        .map(|m| m.frequency * m.devices as f64)
+        .sum();
+    assert!((total_from_models - d.events.len() as f64).abs() < 1.0);
+
+    let isp_stats = an::isp::compute(d);
+    let total_from_isps: f64 = isp_stats
+        .iter()
+        .map(|s| s.frequency * s.devices as f64)
+        .sum();
+    assert!((total_from_isps - d.events.len() as f64).abs() < 1.0);
+}
+
+#[test]
+fn paper_orderings_hold_jointly() {
+    let d = dataset();
+    // ISP ordering (Fig. 12) and group orderings (Figs. 6–9) on the SAME
+    // dataset — the joint consistency the paper reports.
+    let isp_stats = an::isp::compute(d);
+    assert!(isp_stats[Isp::B.index()].prevalence > isp_stats[Isp::A.index()].prevalence);
+    assert!(isp_stats[Isp::A.index()].prevalence > isp_stats[Isp::C.index()].prevalence);
+
+    let g = an::groups::compute(d);
+    assert!(g.with_5g.prevalence > g.without_5g.prevalence);
+    assert!(g.android10_non5g.frequency > g.android9.frequency);
+
+    let per_rat = an::per_rat::compute(d);
+    assert!(per_rat[Rat::G3.index()].prevalence < per_rat[Rat::G4.index()].prevalence);
+
+    let sig = an::signal::compute(d);
+    assert!(sig.fig15_shape_holds());
+}
+
+#[test]
+fn dataset_determinism_across_full_pipeline() {
+    let cfg = StudyConfig {
+        population: PopulationConfig {
+            devices: 1_500,
+            ..Default::default()
+        },
+        bs_count: 1_500,
+        seed: 123,
+        ..Default::default()
+    };
+    let a = run_macro_study(&cfg);
+    let b = run_macro_study(&cfg);
+    assert_eq!(a.events.len(), b.events.len());
+    assert_eq!(
+        an::table2::compute(&a, 10).rows[0].share,
+        an::table2::compute(&b, 10).rows[0].share
+    );
+    assert_eq!(
+        an::headline::compute(&a).mean_duration_secs,
+        an::headline::compute(&b).mean_duration_secs
+    );
+}

@@ -1,0 +1,91 @@
+//! Integration: a fully simulated fleet, bottom-up — devices run the whole
+//! micro stack with Android-MOD attached, upload their traces to the
+//! central [`Backend`], and the backend's fleet summary must show the same
+//! qualitative structure the macro study encodes top-down.
+
+use cellrel::monitor::{Backend, MonitoringService};
+use cellrel::radio::{DeploymentConfig, RadioEnvironment};
+use cellrel::sim::{EventQueue, SimRng};
+use cellrel::telephony::{DeviceConfig, DeviceSim, RatPolicyKind};
+use cellrel::types::{DeviceId, FailureKind, Isp, Rat, RatSet, SimTime};
+
+fn run_fleet(devices: u32, hours: u64, seed: u64) -> Backend {
+    let mut rng = SimRng::new(seed);
+    let env = RadioEnvironment::generate(DeploymentConfig::small(), &mut rng);
+    let mut backend = Backend::new();
+
+    for i in 0..devices {
+        backend.enroll(DeviceId(i));
+        let mut dev_rng = rng.fork(i as u64 + 1);
+        let city = env.city_centers()[i as usize % env.city_centers().len()];
+        let home = city.offset(dev_rng.normal(0.0, 3.0), dev_rng.normal(0.0, 3.0));
+        let mut cfg = DeviceConfig::new(DeviceId(i), Isp::A, home);
+        cfg.rats = RatSet::up_to(Rat::G5);
+        cfg.policy = RatPolicyKind::Android10;
+        // Heterogeneous hazards so some devices never fail (prevalence < 1).
+        cfg.stall_rate_per_hour = if i % 3 == 0 { 2.0 } else { 0.05 };
+
+        let monitor = MonitoringService::new(DeviceId(i), dev_rng.fork(1));
+        let mut queue = EventQueue::new();
+        let mut sim = DeviceSim::new(cfg, &env, monitor, dev_rng.fork(2), &mut queue);
+        queue.run_until(&mut sim, SimTime::from_secs(hours * 3600));
+        let records = sim.into_listener().into_records();
+        backend.ingest(DeviceId(i), records);
+    }
+    backend
+}
+
+#[test]
+fn fleet_summary_has_macro_structure() {
+    let backend = run_fleet(18, 24, 51);
+    let s = backend.summary();
+
+    assert_eq!(s.devices, 18);
+    assert!(s.failures > 0, "fleet produced no failures");
+    assert!(
+        s.prevalence > 0.0 && s.prevalence < 1.0,
+        "prevalence {} should be strictly between 0 and 1 with mixed hazards",
+        s.prevalence
+    );
+    // Data-connection kinds dominate (the >99 % property).
+    let major: u64 = FailureKind::MAJOR.iter().map(|k| s.by_kind[k.index()]).sum();
+    assert!(
+        major as f64 / s.failures as f64 > 0.9,
+        "major kinds {major}/{} failures",
+        s.failures
+    );
+    // Stalls carry a disproportionate share of duration.
+    let stall_count_share =
+        s.by_kind[FailureKind::DataStall.index()] as f64 / s.failures as f64;
+    assert!(
+        s.stall_duration_share > stall_count_share,
+        "stall duration share {} vs count share {}",
+        s.stall_duration_share,
+        stall_count_share
+    );
+}
+
+#[test]
+fn backend_events_feed_the_analysis_layer() {
+    let backend = run_fleet(10, 24, 52);
+    let events = backend.failure_events();
+    assert_eq!(events.len(), backend.records().len());
+
+    // The stall-duration series drives the Fig. 10 estimator directly.
+    let stalls = backend.stall_durations_secs();
+    if stalls.len() >= 5 {
+        let fig10 = cellrel::analysis::stall_recovery::from_durations(stalls);
+        assert!(fig10.within_1200s >= fig10.within_300s);
+    }
+
+    // And the CSV exporter accepts the bottom-up events unchanged.
+    let csv = cellrel::analysis::export::events_csv(&events);
+    assert_eq!(csv.lines().count(), events.len() + 1);
+}
+
+#[test]
+fn fleet_run_is_deterministic() {
+    let a = run_fleet(6, 12, 53).summary();
+    let b = run_fleet(6, 12, 53).summary();
+    assert_eq!(a, b);
+}
