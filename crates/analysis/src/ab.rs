@@ -56,7 +56,13 @@ impl RatPolicyComparison {
     pub fn render(&self) -> String {
         let mut t = Table::new(
             "Fig. 19–20 — RAT policy A/B on 5G phones",
-            &["metric", "vanilla-10", "stability-compatible", "change", "paper"],
+            &[
+                "metric",
+                "vanilla-10",
+                "stability-compatible",
+                "change",
+                "paper",
+            ],
         );
         t.row(vec![
             "prevalence (device-day)".into(),
@@ -111,10 +117,7 @@ pub fn compare_recovery(vanilla: AbOutcome, timp: AbOutcome) -> RecoveryComparis
     RecoveryComparison {
         stall_duration_change: rel_change(vanilla.mean_stall_secs(), timp.mean_stall_secs()),
         median_change: rel_change(vanilla.median_stall_secs(), timp.median_stall_secs()),
-        total_duration_change: rel_change(
-            vanilla.total_duration_secs,
-            timp.total_duration_secs,
-        ),
+        total_duration_change: rel_change(vanilla.total_duration_secs, timp.total_duration_secs),
         vanilla,
         timp,
     }
@@ -189,6 +192,7 @@ mod tests {
             seed: 21,
             stall_rate_per_hour: 2.0,
             suppress_user_reset: false,
+            threads: 0,
         };
         let (v, p) = run_rat_policy_ab(&cfg);
         let cmp = compare_rat_policy(v, p);
@@ -208,6 +212,7 @@ mod tests {
             seed: 22,
             stall_rate_per_hour: 4.0,
             suppress_user_reset: true,
+            threads: 0,
         };
         let (v, t) = run_recovery_ab(&cfg);
         let cmp = compare_recovery(v, t);

@@ -67,13 +67,16 @@ impl CountsFigure {
 #[cfg(test)]
 mod tests {
     use super::*;
-    
 
     #[test]
     fn fig3_shapes_match() {
         let data = crate::testutil::dataset();
         let f = compute(data);
-        assert!((0.70..0.85).contains(&f.zero_share), "zero share {}", f.zero_share);
+        assert!(
+            (0.70..0.85).contains(&f.zero_share),
+            "zero share {}",
+            f.zero_share
+        );
         assert!((20.0..48.0).contains(&f.mean), "mean {}", f.mean);
         // Kind decomposition ≈ 16 / 14 / 3.
         let dse = f.mean_by_kind[FailureKind::DataSetupError.index()];
@@ -81,7 +84,12 @@ mod tests {
         let oos = f.mean_by_kind[FailureKind::OutOfService.index()];
         assert!(dse > stall && stall > oos, "{dse} {stall} {oos}");
         // Heavy skew: max far above the mean.
-        assert!(f.max as f64 > f.mean * 20.0, "max {} mean {}", f.max, f.mean);
+        assert!(
+            f.max as f64 > f.mean * 20.0,
+            "max {} mean {}",
+            f.max,
+            f.mean
+        );
         assert!(f.render().contains("zero-failure"));
     }
 }

@@ -57,14 +57,17 @@ impl DurationFigure {
 #[cfg(test)]
 mod tests {
     use super::*;
-    
 
     #[test]
     fn fig4_shapes_match() {
         let data = crate::testutil::dataset();
         let f = compute(data);
         assert!((80.0..400.0).contains(&f.mean_secs), "mean {}", f.mean_secs);
-        assert!((0.60..0.85).contains(&f.under_30s), "under-30 {}", f.under_30s);
+        assert!(
+            (0.60..0.85).contains(&f.under_30s),
+            "under-30 {}",
+            f.under_30s
+        );
         assert!(f.max_secs <= 91_770.0 + 1.0);
         assert!(f.max_secs > 2_000.0, "tail too light: max {}", f.max_secs);
         assert!(f.render().contains("Fig. 4"));

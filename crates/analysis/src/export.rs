@@ -11,9 +11,8 @@ use std::fmt::Write as _;
 
 /// Serialize failure events as CSV (one row per failure).
 pub fn events_csv(events: &[FailureEvent]) -> String {
-    let mut out = String::from(
-        "device,kind,start_ms,duration_ms,cause,rat,signal_level,apn,bs,isp\n",
-    );
+    let mut out =
+        String::from("device,kind,start_ms,duration_ms,cause,rat,signal_level,apn,bs,isp\n");
     for e in events {
         let _ = writeln!(
             out,

@@ -100,7 +100,6 @@ impl GroupFigures {
 #[cfg(test)]
 mod tests {
     use super::*;
-    
 
     #[test]
     fn group_orderings_match_paper() {

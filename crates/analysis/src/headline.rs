@@ -141,18 +141,29 @@ impl Headline {
 #[cfg(test)]
 mod tests {
     use super::*;
-    
 
     #[test]
     fn headline_matches_paper_shapes() {
         let data = crate::testutil::dataset();
         let h = compute(data);
-        assert!((0.15..0.30).contains(&h.prevalence), "prevalence {}", h.prevalence);
-        assert!((20.0..48.0).contains(&h.frequency), "frequency {}", h.frequency);
+        assert!(
+            (0.15..0.30).contains(&h.prevalence),
+            "prevalence {}",
+            h.prevalence
+        );
+        assert!(
+            (20.0..48.0).contains(&h.frequency),
+            "frequency {}",
+            h.frequency
+        );
         assert!(h.kind_share[..3].iter().sum::<f64>() > 0.98);
         let stall_dur = h.kind_duration_share[FailureKind::DataStall.index()];
         assert!(stall_dur > 0.8, "stall duration share {stall_dur}");
-        assert!((0.60..0.85).contains(&h.under_30s), "under-30s {}", h.under_30s);
+        assert!(
+            (0.60..0.85).contains(&h.under_30s),
+            "under-30s {}",
+            h.under_30s
+        );
         assert!((80.0..400.0).contains(&h.mean_duration_secs));
         // §3.1: "most (95 %) phones do not experience Out_of_Service events".
         assert!(

@@ -69,7 +69,6 @@ pub fn render(stats: &[IspStats; 3]) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    
 
     #[test]
     fn isp_ordering_and_levels_match_fig12() {

@@ -68,7 +68,6 @@ pub fn render(stats: &[ModelStats]) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    
 
     #[test]
     fn recovered_stats_track_table1() {

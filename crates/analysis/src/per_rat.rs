@@ -65,7 +65,6 @@ pub fn render(stats: &[RatPrevalence; 4]) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    
 
     #[test]
     fn idle_3g_effect_recovered() {
@@ -73,8 +72,18 @@ mod tests {
         let stats = compute(data);
         let by = |rat: Rat| stats[rat.index()].prevalence;
         // Fig. 14: 3G below both 2G and 4G.
-        assert!(by(Rat::G3) < by(Rat::G2), "3G {} vs 2G {}", by(Rat::G3), by(Rat::G2));
-        assert!(by(Rat::G3) < by(Rat::G4), "3G {} vs 4G {}", by(Rat::G3), by(Rat::G4));
+        assert!(
+            by(Rat::G3) < by(Rat::G2),
+            "3G {} vs 2G {}",
+            by(Rat::G3),
+            by(Rat::G2)
+        );
+        assert!(
+            by(Rat::G3) < by(Rat::G4),
+            "3G {} vs 4G {}",
+            by(Rat::G3),
+            by(Rat::G4)
+        );
         // 5G prevalence among 5G-capable devices is the highest.
         assert!(by(Rat::G5) > by(Rat::G3));
         assert!(render(&stats).contains("Fig. 14"));

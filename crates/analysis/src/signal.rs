@@ -95,7 +95,6 @@ impl SignalFigures {
 #[cfg(test)]
 mod tests {
     use super::*;
-    
 
     #[test]
     fn fig15_spike_is_recovered() {

@@ -71,13 +71,16 @@ impl StallRecoveryFigure {
 #[cfg(test)]
 mod tests {
     use super::*;
-    
 
     #[test]
     fn fig10_shape_from_macro_study() {
         let data = crate::testutil::dataset();
         let f = compute(data);
-        assert!((0.45..0.75).contains(&f.within_10s), "≤10 s {}", f.within_10s);
+        assert!(
+            (0.45..0.75).contains(&f.within_10s),
+            "≤10 s {}",
+            f.within_10s
+        );
         assert!(f.within_300s > 0.78, "<300 s {}", f.within_300s);
         assert!(f.within_1200s >= f.within_300s);
         assert!(f.render().contains("Fig. 10"));

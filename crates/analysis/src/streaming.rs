@@ -1,0 +1,168 @@
+//! Streaming, mergeable fleet statistics.
+//!
+//! [`FleetAccumulator`] is an [`EventSink`] fed directly by the macro
+//! study's streaming/parallel drivers: it folds every failure event into
+//! the §3.1 headline counters (totals by kind / ISP / RAT, duration
+//! moments, the under-30 s share, the Out_of_Service device set) without
+//! materialising the event list — fleets of 10⁶+ devices run in constant
+//! memory. Because it implements [`Merge`], per-shard accumulators from
+//! [`cellrel_workload::run_macro_study_parallel`] fold into exactly the
+//! sequential result: every field is an integer counter, a set union, or a
+//! Welford summary merged in shard order.
+
+use cellrel_sim::{Merge, Summary};
+use cellrel_types::{DeviceId, FailureEvent, FailureKind};
+use cellrel_workload::EventSink;
+use std::collections::HashSet;
+
+/// Online fleet statistics over a stream of failure events.
+#[derive(Debug, Clone, Default)]
+pub struct FleetAccumulator {
+    /// Total recorded failures.
+    pub total: u64,
+    /// Counts by kind (index = `FailureKind::index`).
+    pub by_kind: [u64; 5],
+    /// Counts by ISP (index = `Isp::index`).
+    pub by_isp: [u64; 3],
+    /// Counts by RAT (index = `Rat::index`).
+    pub by_rat: [u64; 4],
+    /// Exact total failure duration, integer milliseconds.
+    pub duration_ms_total: u64,
+    /// Exact per-kind duration totals, integer milliseconds.
+    pub duration_ms_by_kind: [u64; 5],
+    /// Failures shorter than 30 s.
+    pub under_30s: u64,
+    /// Longest single failure, milliseconds.
+    pub max_duration_ms: u64,
+    /// Welford moments of the duration distribution (seconds).
+    pub duration: Summary,
+    /// Devices that saw ≥1 Out_of_Service event.
+    pub oos_devices: HashSet<DeviceId>,
+}
+
+impl FleetAccumulator {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Mean failure duration in seconds (0 when empty).
+    pub fn mean_duration_secs(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.duration_ms_total as f64 / 1000.0 / self.total as f64
+        }
+    }
+
+    /// Share of failures of `kind` (0 when empty).
+    pub fn kind_share(&self, kind: FailureKind) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.by_kind[kind.index()] as f64 / self.total as f64
+        }
+    }
+
+    /// Share of *total duration* contributed by `kind` (0 when empty).
+    pub fn kind_duration_share(&self, kind: FailureKind) -> f64 {
+        if self.duration_ms_total == 0 {
+            0.0
+        } else {
+            self.duration_ms_by_kind[kind.index()] as f64 / self.duration_ms_total as f64
+        }
+    }
+
+    /// Fraction of failures shorter than 30 s (0 when empty).
+    pub fn under_30s_share(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.under_30s as f64 / self.total as f64
+        }
+    }
+}
+
+impl EventSink for FleetAccumulator {
+    fn record(&mut self, e: &FailureEvent) {
+        let ms = e.duration.as_millis();
+        self.total += 1;
+        self.by_kind[e.kind.index()] += 1;
+        self.by_isp[e.ctx.isp.index()] += 1;
+        self.by_rat[e.ctx.rat.index()] += 1;
+        self.duration_ms_total += ms;
+        self.duration_ms_by_kind[e.kind.index()] += ms;
+        if ms < 30_000 {
+            self.under_30s += 1;
+        }
+        self.max_duration_ms = self.max_duration_ms.max(ms);
+        self.duration.push(e.duration.as_secs_f64());
+        if e.kind == FailureKind::OutOfService {
+            self.oos_devices.insert(e.device);
+        }
+    }
+}
+
+impl Merge for FleetAccumulator {
+    fn merge(&mut self, other: Self) {
+        self.total.merge(other.total);
+        self.by_kind.merge(other.by_kind);
+        self.by_isp.merge(other.by_isp);
+        self.by_rat.merge(other.by_rat);
+        self.duration_ms_total.merge(other.duration_ms_total);
+        self.duration_ms_by_kind.merge(other.duration_ms_by_kind);
+        self.under_30s.merge(other.under_30s);
+        self.max_duration_ms = self.max_duration_ms.max(other.max_duration_ms);
+        self.duration.merge(&other.duration);
+        self.oos_devices.merge(other.oos_devices);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::headline;
+    use crate::testutil::dataset;
+    use cellrel_workload::{run_macro_study_parallel, StudyConfig};
+
+    #[test]
+    fn accumulator_matches_materialised_headline() {
+        let d = dataset();
+        let mut acc = FleetAccumulator::new();
+        for e in &d.events {
+            acc.record(e);
+        }
+        let h = headline::compute(d);
+        assert_eq!(acc.total, h.total_failures);
+        for kind in FailureKind::ALL {
+            assert!((acc.kind_share(kind) - h.kind_share[kind.index()]).abs() < 1e-12);
+        }
+        assert!((acc.mean_duration_secs() - h.mean_duration_secs).abs() < 1e-6);
+        assert!((acc.under_30s_share() - h.under_30s).abs() < 1e-12);
+        assert!((acc.max_duration_ms as f64 / 1000.0 - h.max_duration_secs).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parallel_accumulators_are_thread_count_invariant() {
+        let cfg = StudyConfig::small();
+        let (_, _, _, base) = run_macro_study_parallel(&cfg, 1, FleetAccumulator::new);
+        assert!(base.total > 0);
+        for threads in [2usize, 8] {
+            let (_, _, _, acc) = run_macro_study_parallel(&cfg, threads, FleetAccumulator::new);
+            assert_eq!(acc.total, base.total, "threads={threads}");
+            assert_eq!(acc.by_kind, base.by_kind, "threads={threads}");
+            assert_eq!(acc.by_isp, base.by_isp, "threads={threads}");
+            assert_eq!(acc.by_rat, base.by_rat, "threads={threads}");
+            assert_eq!(
+                acc.duration_ms_total, base.duration_ms_total,
+                "threads={threads}"
+            );
+            assert_eq!(acc.under_30s, base.under_30s, "threads={threads}");
+            assert_eq!(
+                acc.max_duration_ms, base.max_duration_ms,
+                "threads={threads}"
+            );
+            assert_eq!(acc.oos_devices, base.oos_devices, "threads={threads}");
+        }
+    }
+}

@@ -45,8 +45,17 @@ impl Table1 {
         let mut t = Table::new(
             "Table 1 — 34 phone models (measured vs paper)",
             &[
-                "model", "cpu", "mem", "sto", "5G", "ver", "users", "prev",
-                "prev(paper)", "freq", "freq(paper)",
+                "model",
+                "cpu",
+                "mem",
+                "sto",
+                "5G",
+                "ver",
+                "users",
+                "prev",
+                "prev(paper)",
+                "freq",
+                "freq(paper)",
             ],
         );
         for s in &self.stats {
@@ -77,7 +86,6 @@ impl Table1 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    
 
     #[test]
     fn table1_fidelity_is_tight() {

@@ -86,7 +86,6 @@ impl Table2 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    
 
     #[test]
     fn table2_recovers_paper_ranking() {

@@ -78,7 +78,10 @@ impl TransitionFigure {
     pub fn render(&self) -> String {
         let mut out = String::from("== Fig. 17 — ΔnormPrev for RAT transitions ==\n");
         for m in &self.matrices {
-            out.push_str(&format!("-- {} → {} (rows: from-level, cols: to-level) --\n", m.from, m.to));
+            out.push_str(&format!(
+                "-- {} → {} (rows: from-level, cols: to-level) --\n",
+                m.from, m.to
+            ));
             out.push_str("      j=0     j=1     j=2     j=3     j=4     j=5\n");
             for (i, row) in m.delta.iter().enumerate() {
                 out.push_str(&format!("i={i} "));

@@ -112,7 +112,12 @@ mod tests {
         assert!(f.r2 > 0.75, "fit r² {}", f.r2);
         // Skew: median tiny, max enormous.
         assert!(f.median <= 5, "median {}", f.median);
-        assert!(f.max as f64 > f.mean * 10.0, "max {} mean {}", f.max, f.mean);
+        assert!(
+            f.max as f64 > f.mean * 10.0,
+            "max {} mean {}",
+            f.max,
+            f.mean
+        );
         // Crowded-urban finding.
         assert!(f.top_urban_share > 0.6, "urban share {}", f.top_urban_share);
         assert!(f.render().contains("zipf fit"));

@@ -15,9 +15,7 @@ use cellrel::telephony::RecoveryConfig;
 use cellrel::timp::{anneal_probations, AnnealConfig, TimpModel};
 use cellrel::types::SignalLevel;
 use cellrel::workload::durations::sample_auto_heal_secs;
-use cellrel::workload::guidelines::{
-    cross_isp_gap_sweep, density_sweep, idle_3g_offload_sweep,
-};
+use cellrel::workload::guidelines::{cross_isp_gap_sweep, density_sweep, idle_3g_offload_sweep};
 use cellrel::workload::{run_rat_policy_ab, AbConfig};
 use cellrel_bench::ab_config;
 use criterion::{criterion_group, criterion_main, Criterion};
@@ -102,7 +100,10 @@ fn bench_policy_pieces(c: &mut Criterion) {
     );
     // Pieces, via custom arms.
     for (label, kind) in [
-        ("no dual connectivity", RatPolicyKind::StabilityNoDualConnectivity),
+        (
+            "no dual connectivity",
+            RatPolicyKind::StabilityNoDualConnectivity,
+        ),
         (
             "threshold L2 (stricter)",
             RatPolicyKind::StabilityThreshold(SignalLevel::L2),
@@ -159,7 +160,11 @@ fn bench_probe_timeout_sweep(c: &mut Criterion) {
             "dns timeout {dns_secs:>2}s: {:.1} rounds/stall, mean |error| {:.1}s{}",
             rounds as f64 / n as f64,
             err / n as f64,
-            if dns_secs == 5 { "   <- the paper's design point" } else { "" }
+            if dns_secs == 5 {
+                "   <- the paper's design point"
+            } else {
+                ""
+            }
         );
     }
     let cfg = ProbeConfig::default();
@@ -192,7 +197,11 @@ fn bench_guideline_sweeps(c: &mut Criterion) {
     let offload = idle_3g_offload_sweep(0.95, 20);
     let best = offload
         .iter()
-        .min_by(|a, b| a.total_rejection.partial_cmp(&b.total_rejection).expect("finite"))
+        .min_by(|a, b| {
+            a.total_rejection
+                .partial_cmp(&b.total_rejection)
+                .expect("finite")
+        })
         .expect("non-empty");
     println!(
         "idle-3G offload optimum:     {:.0}% of 4G demand (rejections {:.3} → {:.3})",

@@ -16,7 +16,11 @@ fn bench_deployment_generation(c: &mut Criterion) {
     c.bench_function("radio_deployment_600_sites", |b| {
         b.iter(|| {
             let mut rng = SimRng::new(1);
-            black_box(RadioEnvironment::generate(DeploymentConfig::small(), &mut rng)).bs_count()
+            black_box(RadioEnvironment::generate(
+                DeploymentConfig::small(),
+                &mut rng,
+            ))
+            .bs_count()
         })
     });
 }
@@ -27,13 +31,7 @@ fn bench_scan(c: &mut Criterion) {
     let city = env.city_centers()[0];
     c.bench_function("radio_scan_city_center", |b| {
         b.iter(|| {
-            black_box(env.scan_salted(
-                black_box(city),
-                Isp::A,
-                RatSet::up_to(Rat::G5),
-                7,
-                &mut rng,
-            ))
+            black_box(env.scan_salted(black_box(city), Isp::A, RatSet::up_to(Rat::G5), 7, &mut rng))
         })
     });
 }

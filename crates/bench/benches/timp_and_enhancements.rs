@@ -14,7 +14,9 @@ use std::hint::black_box;
 
 fn fitted_model() -> TimpModel {
     let mut rng = SimRng::new(7);
-    let samples: Vec<f64> = (0..30_000).map(|_| sample_auto_heal_secs(&mut rng)).collect();
+    let samples: Vec<f64> = (0..30_000)
+        .map(|_| sample_auto_heal_secs(&mut rng))
+        .collect();
     let recovery = RecoveryConfig::vanilla();
     TimpModel::from_durations(
         &samples,

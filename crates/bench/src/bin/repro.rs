@@ -22,31 +22,63 @@ use cellrel::workload::{run_rat_policy_ab, run_recovery_ab};
 use cellrel_bench::{ab_config, recovery_ab_config, standard_config, standard_study};
 
 const ALL: &[&str] = &[
-    "headline", "table1", "table2", "fig2", "fig3", "fig4", "fig6", "fig10", "fig11", "fig12",
-    "fig14", "fig15", "fig17", "fig19", "fig21", "timp", "overhead", "hardware", "measurement",
+    "headline",
+    "table1",
+    "table2",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig6",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig14",
+    "fig15",
+    "fig17",
+    "fig19",
+    "fig21",
+    "timp",
+    "overhead",
+    "hardware",
+    "measurement",
 ];
 
 fn main() {
-    let mut wanted: Vec<String> = std::env::args().skip(1).map(|s| s.to_lowercase()).collect();
+    let mut raw: Vec<String> = std::env::args().skip(1).map(|s| s.to_lowercase()).collect();
+    // `--threads N` routes through the CELLREL_THREADS knob so every
+    // driver below (macro study, A/B arms, sweeps) picks it up.
+    if let Some(pos) = raw.iter().position(|w| w == "--threads") {
+        let n = raw
+            .get(pos + 1)
+            .and_then(|s| s.parse::<usize>().ok())
+            .expect("--threads needs a number");
+        std::env::set_var(cellrel::sim::par::THREADS_ENV, n.to_string());
+        raw.drain(pos..pos + 2);
+    }
+    let mut wanted = raw;
     if wanted.is_empty() || wanted.iter().any(|w| w == "all") {
         wanted = ALL.iter().map(|s| s.to_string()).collect();
     }
     // Alias figure pairs that share one computation.
     fn canon(w: &str) -> &str {
         match w {
-        "fig5" => "fig2",
-        "fig7" | "fig8" | "fig9" => "fig6",
-        "fig13" => "fig12",
-        "fig16" => "fig15",
-        "fig20" => "fig19",
-        other => other,
+            "fig5" => "fig2",
+            "fig7" | "fig8" | "fig9" => "fig6",
+            "fig13" => "fig12",
+            "fig16" => "fig15",
+            "fig20" => "fig19",
+            other => other,
         }
     }
 
     let cfg = standard_config();
     eprintln!(
-        "repro: {} devices, {} BSes, {} days, seed {}",
-        cfg.population.devices, cfg.bs_count, cfg.days, cfg.seed
+        "repro: {} devices, {} BSes, {} days, seed {}, {} thread(s)",
+        cfg.population.devices,
+        cfg.bs_count,
+        cfg.days,
+        cfg.seed,
+        cellrel::sim::auto_threads()
     );
 
     // Special form: `repro export-csv <dir>`.
@@ -97,7 +129,10 @@ fn main() {
             "hardware" => println!("{}", an::hardware::compute(standard_study()).render()),
             "measurement" => {
                 let mut rng = SimRng::new(22);
-                println!("{}", an::measurement::compare_estimators(5_000, &mut rng).render());
+                println!(
+                    "{}",
+                    an::measurement::compare_estimators(5_000, &mut rng).render()
+                );
             }
             "fig17" => {
                 let mut rng = SimRng::new(17);
@@ -123,7 +158,9 @@ fn main() {
 
 fn timp_report() -> String {
     let mut rng = SimRng::new(7);
-    let samples: Vec<f64> = (0..50_000).map(|_| sample_auto_heal_secs(&mut rng)).collect();
+    let samples: Vec<f64> = (0..50_000)
+        .map(|_| sample_auto_heal_secs(&mut rng))
+        .collect();
     let recovery = RecoveryConfig::vanilla();
     let model = TimpModel::from_durations(
         &samples,

@@ -40,6 +40,7 @@ pub fn ab_config() -> cellrel::workload::AbConfig {
         seed: 2021,
         stall_rate_per_hour: 2.0,
         suppress_user_reset: false,
+        threads: 0,
     }
 }
 
@@ -52,6 +53,7 @@ pub fn recovery_ab_config() -> cellrel::workload::AbConfig {
         seed: 2022,
         stall_rate_per_hour: 4.0,
         suppress_user_reset: true,
+        threads: 0,
     }
 }
 

@@ -36,8 +36,7 @@ impl CauseMix {
             .iter()
             .copied()
             .filter(|c| {
-                c.is_true_failure()
-                    && !DataFailCause::TABLE2_TOP10.iter().any(|(t, _)| t == c)
+                c.is_true_failure() && !DataFailCause::TABLE2_TOP10.iter().any(|(t, _)| t == c)
             })
             .collect();
         let total_tail = DataFailCause::ANDROID_TOTAL_CODES - 10;

@@ -230,7 +230,10 @@ impl Modem {
     ) -> Result<(), DataFailCause> {
         self.calls.clear();
         self.emm.detach();
-        let rat = self.serving.map(|c| c.rat).ok_or(DataFailCause::NoService)?;
+        let rat = self
+            .serving
+            .map(|c| c.rat)
+            .ok_or(DataFailCause::NoService)?;
         self.emm.attach(rat, risk, rng)
     }
 
@@ -514,7 +517,12 @@ mod tests {
         m.camp_on(cell(Rat::G4, -95.0));
         let first = bring_up(&mut m, &mut rng);
         let second = m
-            .setup_data_call(Apn::Internet, &quiet_risk(), SimTime::from_secs(5), &mut rng)
+            .setup_data_call(
+                Apn::Internet,
+                &quiet_risk(),
+                SimTime::from_secs(5),
+                &mut rng,
+            )
             .expect("idempotent setup");
         assert_eq!(first, second);
     }

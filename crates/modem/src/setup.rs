@@ -82,8 +82,7 @@ pub fn run_setup(
     }
 
     // Stage 4 — network layer (PDP/PDN activation, IP allocation).
-    let p_net =
-        (0.04 * (1.0 + 1.5 * risk.interference + risk.emm_pressure) * scale).min(0.6);
+    let p_net = (0.04 * (1.0 + 1.5 * risk.interference + risk.emm_pressure) * scale).min(0.6);
     if rng.chance(p_net) {
         return Err(network_cause(rng));
     }
@@ -210,7 +209,9 @@ mod tests {
     #[test]
     fn quiet_cell_mostly_succeeds() {
         let mut rng = SimRng::new(1);
-        let ok = (0..2000).filter(|_| attempt(&quiet(), &mut rng).is_ok()).count();
+        let ok = (0..2000)
+            .filter(|_| attempt(&quiet(), &mut rng).is_ok())
+            .count();
         assert!(ok > 1750, "quiet cell succeeded only {ok}/2000");
     }
 

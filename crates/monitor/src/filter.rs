@@ -44,7 +44,9 @@ impl FpFilter {
             TelephonyEvent::DataStallSuspected { .. } | TelephonyEvent::DataStallCleared { .. } => {
                 FilterDecision::Record
             }
-            TelephonyEvent::SmsSendFailed | TelephonyEvent::VoiceSetupFailed => FilterDecision::Record,
+            TelephonyEvent::SmsSendFailed | TelephonyEvent::VoiceSetupFailed => {
+                FilterDecision::Record
+            }
             TelephonyEvent::VoiceCallInterruption => {
                 FilterDecision::Reject(FalsePositiveClass::VoiceCallInterruption)
             }

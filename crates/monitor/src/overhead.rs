@@ -130,8 +130,14 @@ mod tests {
             o.add_failure_window(SimDuration::from_secs(188));
         }
         o.on_upload(33, 33 * 35 / 2);
-        assert!(o.within_typical_budget(), "cpu {:.4} mem {} sto {} net {}",
-            o.cpu_utilization(), o.peak_memory_bytes(), o.storage_bytes(), o.network_bytes());
+        assert!(
+            o.within_typical_budget(),
+            "cpu {:.4} mem {} sto {} net {}",
+            o.cpu_utilization(),
+            o.peak_memory_bytes(),
+            o.storage_bytes(),
+            o.network_bytes()
+        );
     }
 
     #[test]
@@ -183,6 +189,10 @@ mod tests {
         }
         let peak = o.peak_memory_bytes();
         o.on_upload(10, 200);
-        assert_eq!(o.peak_memory_bytes(), peak, "peak memory is a high-water mark");
+        assert_eq!(
+            o.peak_memory_bytes(),
+            peak,
+            "peak memory is a high-water mark"
+        );
     }
 }

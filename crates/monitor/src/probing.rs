@@ -240,7 +240,11 @@ mod tests {
         let m_short = measure(1000, LinkCondition::NetworkBlackhole, 5);
         // ~1000 s at ~5 s/round ≈ 200 rounds, no backoff yet.
         assert!(!m_short.reverted_to_vanilla);
-        assert!(m_short.rounds > 150 && m_short.rounds < 260, "{}", m_short.rounds);
+        assert!(
+            m_short.rounds > 150 && m_short.rounds < 260,
+            "{}",
+            m_short.rounds
+        );
 
         let m_long = measure(4000, LinkCondition::NetworkBlackhole, 6);
         // Reverting caps the round count near the 1200 s mark.

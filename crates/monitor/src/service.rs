@@ -13,9 +13,7 @@ use crate::uploader::Uploader;
 use cellrel_netstack::LinkCondition;
 use cellrel_sim::SimRng;
 use cellrel_telephony::{TelephonyEvent, TelephonyListener};
-use cellrel_types::{
-    DeviceId, FailureKind, FalsePositiveClass, InSituInfo, SimDuration, SimTime,
-};
+use cellrel_types::{DeviceId, FailureKind, FalsePositiveClass, InSituInfo, SimDuration, SimTime};
 
 /// Counters of filtered false positives by class.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -174,9 +172,11 @@ impl MonitoringService {
             return; // cleared without a matching suspicion: ignore
         };
         // Probe the episode: classification + measured duration.
-        let m = self
-            .probe
-            .measure(duration, sus_condition.min_verdict_condition(condition), &mut self.rng);
+        let m = self.probe.measure(
+            duration,
+            sus_condition.min_verdict_condition(condition),
+            &mut self.rng,
+        );
         self.overhead.on_probe(m.rounds, m.probe_bytes);
         match m.measured {
             None => {
@@ -376,7 +376,11 @@ mod tests {
         assert_eq!(r.start, t(100));
         // Probing error ≤ 5 s.
         let err = r.duration.as_secs_f64() - 40.0;
-        assert!((0.0..=5.5).contains(&err), "measured {} for 40s", r.duration);
+        assert!(
+            (0.0..=5.5).contains(&err),
+            "measured {} for 40s",
+            r.duration
+        );
     }
 
     #[test]
@@ -489,7 +493,11 @@ mod tests {
         );
         assert_eq!(s.records().len(), 1);
         let r = &s.records()[0];
-        assert_eq!(r.duration.as_secs() % 60, 0, "vanilla estimate is minute-aligned");
+        assert_eq!(
+            r.duration.as_secs() % 60,
+            0,
+            "vanilla estimate is minute-aligned"
+        );
         assert!(r.duration >= long);
         assert!(r.duration <= long + SimDuration::from_secs(60));
     }

@@ -40,7 +40,10 @@ pub enum ProbeVerdict {
 impl ProbeVerdict {
     /// Whether this verdict marks the suspected stall a false positive.
     pub const fn is_false_positive(self) -> bool {
-        matches!(self, ProbeVerdict::SystemSide | ProbeVerdict::DnsServiceDown)
+        matches!(
+            self,
+            ProbeVerdict::SystemSide | ProbeVerdict::DnsServiceDown
+        )
     }
 }
 

@@ -52,7 +52,8 @@ impl NetStack {
         self.tcp.record_sent(now, out);
         if self.link.delivers_inbound() {
             // Responses land within the same accounting window.
-            self.tcp.record_received(now + SimDuration::from_millis(60), out);
+            self.tcp
+                .record_received(now + SimDuration::from_millis(60), out);
         }
     }
 

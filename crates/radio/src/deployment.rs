@@ -158,9 +158,8 @@ impl RadioEnvironment {
         }
         let positions: Vec<Pos> = bses.iter().map(|b| b.pos).collect();
         for i in 0..bses.len() {
-            let near = grid.query_within(positions[i], NEIGHBOR_RADIUS_KM, |j| {
-                positions[j as usize]
-            });
+            let near =
+                grid.query_within(positions[i], NEIGHBOR_RADIUS_KM, |j| positions[j as usize]);
             let mut count = 0u32;
             let mut min_gap = f64::INFINITY;
             for j in near {
@@ -446,14 +445,20 @@ mod tests {
                 .filter(|(_, b)| b.env == Environment::TransportHub)
                 .collect();
             assert!(!hubs.is_empty());
-            hubs.iter().map(|(_, b)| b.neighbor_count as f64).sum::<f64>() / hubs.len() as f64
+            hubs.iter()
+                .map(|(_, b)| b.neighbor_count as f64)
+                .sum::<f64>()
+                / hubs.len() as f64
         };
         let rural_density: f64 = {
             let rural: Vec<_> = env
                 .iter()
                 .filter(|(_, b)| b.env == Environment::Rural)
                 .collect();
-            rural.iter().map(|(_, b)| b.neighbor_count as f64).sum::<f64>()
+            rural
+                .iter()
+                .map(|(_, b)| b.neighbor_count as f64)
+                .sum::<f64>()
                 / rural.len().max(1) as f64
         };
         assert!(

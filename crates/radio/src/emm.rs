@@ -294,7 +294,10 @@ mod tests {
             }
         }
         let frac = barred as f64 / total as f64;
-        assert!(frac > 0.05, "expected noticeable barring at hubs, got {frac}");
+        assert!(
+            frac > 0.05,
+            "expected noticeable barring at hubs, got {frac}"
+        );
     }
 
     #[test]

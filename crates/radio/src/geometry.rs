@@ -107,12 +107,7 @@ impl GridIndex {
 
     /// Collect items within exact distance `radius_km` of `pos`, given a
     /// position accessor for items.
-    pub fn query_within(
-        &self,
-        pos: Pos,
-        radius_km: f64,
-        pos_of: impl Fn(u32) -> Pos,
-    ) -> Vec<u32> {
+    pub fn query_within(&self, pos: Pos, radius_km: f64, pos_of: impl Fn(u32) -> Pos) -> Vec<u32> {
         let mut out = Vec::new();
         self.for_each_near(pos, radius_km, |item| {
             if pos_of(item).distance_km(pos) <= radius_km {
@@ -144,11 +139,7 @@ mod tests {
     #[test]
     fn grid_finds_nearby_items() {
         let mut g = GridIndex::new(10.0, 1.0);
-        let positions = [
-            Pos::new(1.0, 1.0),
-            Pos::new(1.2, 1.1),
-            Pos::new(9.0, 9.0),
-        ];
+        let positions = [Pos::new(1.0, 1.0), Pos::new(1.2, 1.1), Pos::new(9.0, 9.0)];
         for (i, &p) in positions.iter().enumerate() {
             g.insert(p, i as u32);
         }

@@ -131,7 +131,10 @@ mod tests {
 
     #[test]
     fn base_risk_strictly_decreasing() {
-        let risks: Vec<f64> = SignalLevel::ALL.iter().map(|&l| signal_base_risk(l)).collect();
+        let risks: Vec<f64> = SignalLevel::ALL
+            .iter()
+            .map(|&l| signal_base_risk(l))
+            .collect();
         assert!(risks.windows(2).all(|w| w[0] > w[1]), "{risks:?}");
     }
 

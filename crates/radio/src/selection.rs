@@ -110,7 +110,10 @@ mod tests {
 
     #[test]
     fn efficiency_monotone() {
-        let effs: Vec<f64> = SignalLevel::ALL.iter().map(|&l| level_efficiency(l)).collect();
+        let effs: Vec<f64> = SignalLevel::ALL
+            .iter()
+            .map(|&l| level_efficiency(l))
+            .collect();
         assert!(effs.windows(2).all(|w| w[0] < w[1]));
     }
 }

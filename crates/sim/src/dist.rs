@@ -26,7 +26,10 @@ impl WeightedIndex {
     /// # Panics
     /// Panics if `weights` is empty, contains a negative value, or sums to 0.
     pub fn new(weights: &[f64]) -> Self {
-        assert!(!weights.is_empty(), "WeightedIndex needs at least one weight");
+        assert!(
+            !weights.is_empty(),
+            "WeightedIndex needs at least one weight"
+        );
         let mut cumulative = Vec::with_capacity(weights.len());
         let mut acc = 0.0;
         for &w in weights {

@@ -1,5 +1,13 @@
 //! Statistics utilities: running summaries, percentiles, ECDFs, histograms,
 //! least-squares regression, and the Zipf fit used for Figure 11.
+//!
+//! The accumulators ([`Summary`], [`Histogram`], [`Ecdf`]) implement
+//! [`crate::par::Merge`] so per-shard partials from parallel fleet runs
+//! combine associatively into the same value a sequential pass produces
+//! (exactly for counts and bins; up to floating-point associativity for
+//! [`Summary`]'s mean/variance).
+
+use crate::par::Merge;
 
 /// Running summary statistics (Welford's online algorithm).
 #[derive(Debug, Clone, Default)]
@@ -93,6 +101,12 @@ impl Summary {
     /// Sum of all observations.
     pub fn sum(&self) -> f64 {
         self.mean() * self.n as f64
+    }
+}
+
+impl Merge for Summary {
+    fn merge(&mut self, other: Self) {
+        Summary::merge(self, &other);
     }
 }
 
@@ -235,6 +249,21 @@ impl Histogram {
         self.total
     }
 
+    /// Merge another histogram over the same binning into this one.
+    ///
+    /// # Panics
+    /// Panics if the bin layouts differ.
+    pub fn merge_from(&mut self, other: &Histogram) {
+        assert!(
+            self.lo == other.lo && self.hi == other.hi && self.counts.len() == other.counts.len(),
+            "merging histograms with different binning"
+        );
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+    }
+
     /// The `(bin_center, fraction)` series.
     pub fn normalized(&self) -> Vec<(f64, f64)> {
         let width = (self.hi - self.lo) / self.counts.len() as f64;
@@ -251,6 +280,36 @@ impl Histogram {
                 (center, frac)
             })
             .collect()
+    }
+}
+
+impl Merge for Histogram {
+    fn merge(&mut self, other: Self) {
+        self.merge_from(&other);
+    }
+}
+
+impl Merge for Ecdf {
+    /// Merge two ECDFs into the ECDF over the union of their samples
+    /// (linear two-way merge of the sorted sample sets).
+    fn merge(&mut self, other: Self) {
+        let mut merged = Vec::with_capacity(self.sorted.len() + other.sorted.len());
+        let (mut a, mut b) = (
+            self.sorted.iter().peekable(),
+            other.sorted.iter().peekable(),
+        );
+        while let (Some(&&x), Some(&&y)) = (a.peek(), b.peek()) {
+            if x <= y {
+                merged.push(x);
+                a.next();
+            } else {
+                merged.push(y);
+                b.next();
+            }
+        }
+        merged.extend(a.copied());
+        merged.extend(b.copied());
+        self.sorted = merged;
     }
 }
 
@@ -318,7 +377,10 @@ pub fn fit_zipf(counts_desc: &[u64]) -> (f64, f64, f64) {
         .filter(|&(_, &c)| c > 0)
         .map(|(i, &c)| (((i + 1) as f64).ln(), (c as f64).ln()))
         .collect();
-    assert!(points.len() >= 2, "fit_zipf needs at least two non-zero counts");
+    assert!(
+        points.len() >= 2,
+        "fit_zipf needs at least two non-zero counts"
+    );
     let xs: Vec<f64> = points.iter().map(|p| p.0).collect();
     let ys: Vec<f64> = points.iter().map(|p| p.1).collect();
     let (slope, intercept, r2) = linreg(&xs, &ys);
@@ -410,6 +472,40 @@ mod tests {
     }
 
     #[test]
+    fn histogram_merge_equals_sequential() {
+        let xs: Vec<f64> = (0..200).map(|i| (i % 17) as f64).collect();
+        let mut whole = Histogram::new(0.0, 20.0, 10);
+        xs.iter().for_each(|&x| whole.push(x));
+        let mut a = Histogram::new(0.0, 20.0, 10);
+        let mut b = Histogram::new(0.0, 20.0, 10);
+        xs[..90].iter().for_each(|&x| a.push(x));
+        xs[90..].iter().for_each(|&x| b.push(x));
+        Merge::merge(&mut a, b);
+        assert_eq!(a.counts(), whole.counts());
+        assert_eq!(a.total(), whole.total());
+    }
+
+    #[test]
+    #[should_panic(expected = "different binning")]
+    fn histogram_merge_rejects_mismatched_bins() {
+        let mut a = Histogram::new(0.0, 10.0, 10);
+        a.merge_from(&Histogram::new(0.0, 10.0, 5));
+    }
+
+    #[test]
+    fn ecdf_merge_equals_pooled_build() {
+        let xs = vec![5.0, 1.0, 3.0];
+        let ys = vec![4.0, 2.0, 6.0];
+        let mut merged = Ecdf::new(xs.clone());
+        Merge::merge(&mut merged, Ecdf::new(ys.clone()));
+        let pooled = Ecdf::new(xs.into_iter().chain(ys).collect());
+        assert_eq!(merged.len(), pooled.len());
+        for q in [0.0, 0.25, 0.5, 0.75, 1.0] {
+            assert_eq!(merged.quantile(q), pooled.quantile(q));
+        }
+    }
+
+    #[test]
     fn linreg_exact_line() {
         let xs: Vec<f64> = (0..10).map(|i| i as f64).collect();
         let ys: Vec<f64> = xs.iter().map(|x| 3.0 * x + 1.0).collect();
@@ -437,7 +533,10 @@ mod tests {
         let xs: Vec<f64> = (0..500).map(|_| rng.normal(10.0, 3.0)).collect();
         let true_mean = xs.iter().sum::<f64>() / xs.len() as f64;
         let (lo, hi) = bootstrap_mean_ci(&xs, 400, 0.95, &mut rng);
-        assert!(lo < true_mean && true_mean < hi, "CI [{lo}, {hi}] vs {true_mean}");
+        assert!(
+            lo < true_mean && true_mean < hi,
+            "CI [{lo}, {hi}] vs {true_mean}"
+        );
         // Width is in the right ballpark: ~2 × 1.96 × 3/√500 ≈ 0.53.
         assert!((hi - lo) < 1.2, "CI too wide: {}", hi - lo);
         assert!((hi - lo) > 0.2, "CI suspiciously tight: {}", hi - lo);

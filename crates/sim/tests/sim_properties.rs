@@ -28,6 +28,67 @@ proptest! {
     }
 
     #[test]
+    fn forked_children_are_independent_of_parent_draw_count(
+        seed in 0u64..10_000,
+        salt in 0u64..10_000,
+        draws in 0usize..64,
+    ) {
+        // The fork-independence claim: a child's stream is a function of the
+        // parent's seed, the salt, and how many forks preceded it — NOT of
+        // how many values the parent has drawn.
+        let mut undrawn = SimRng::new(seed);
+        let mut drawn = SimRng::new(seed);
+        for _ in 0..draws {
+            drawn.f64();
+        }
+        let mut fa = undrawn.fork(salt);
+        let mut fb = drawn.fork(salt);
+        for _ in 0..16 {
+            prop_assert_eq!(fa.f64().to_bits(), fb.f64().to_bits());
+        }
+    }
+
+    #[test]
+    fn distinct_salts_give_distinct_streams(
+        seed in 0u64..10_000,
+        salt_a in 0u64..10_000,
+        offset in 1u64..10_000,
+    ) {
+        let salt_b = salt_a + offset;
+        let mut a = SimRng::new(seed).fork(salt_a);
+        let mut b = SimRng::new(seed).fork(salt_b);
+        // 16 consecutive identical u64 draws from different salts would be a
+        // catastrophic collision; accept any single difference.
+        let differs = (0..16).any(|_| a.f64().to_bits() != b.f64().to_bits());
+        prop_assert!(differs, "salts {salt_a} and {salt_b} collided");
+    }
+
+    #[test]
+    fn substreams_depend_only_on_root_and_id(
+        root in 0u64..10_000,
+        id in 0u64..100_000,
+        draws in 0usize..32,
+    ) {
+        // for_substream is a pure function: no hidden state, so the stream
+        // is identical no matter where or when it is derived.
+        let mut a = SimRng::for_substream(root, id);
+        // Interleave unrelated work before deriving the second copy.
+        let mut noise = SimRng::new(root ^ id);
+        for _ in 0..draws {
+            noise.f64();
+        }
+        let mut b = SimRng::for_substream(root, id);
+        for _ in 0..16 {
+            prop_assert_eq!(a.f64().to_bits(), b.f64().to_bits());
+        }
+        // And neighbouring device ids never share a stream.
+        let mut c = SimRng::for_substream(root, id + 1);
+        let mut a2 = SimRng::for_substream(root, id);
+        let differs = (0..16).any(|_| a2.f64().to_bits() != c.f64().to_bits());
+        prop_assert!(differs, "substreams {id} and {} collided", id + 1);
+    }
+
+    #[test]
     fn exp_and_pareto_are_nonnegative(seed in 0u64..5000, mean in 0.1f64..1000.0) {
         let mut rng = SimRng::new(seed);
         for _ in 0..20 {

@@ -36,7 +36,7 @@ impl ApnManager {
             trackers: apns
                 .iter()
                 .map(|&apn| DcTracker::new(apn, RetryPolicy::default()))
-                .collect()
+                .collect(),
         }
     }
 

@@ -122,13 +122,23 @@ impl DataConnectionFsm {
 
     /// Setup succeeded.
     pub fn setup_succeeded(&mut self, at: SimTime) {
-        assert_eq!(self.state, DcState::Activating, "setup_succeeded from {}", self.state);
+        assert_eq!(
+            self.state,
+            DcState::Activating,
+            "setup_succeeded from {}",
+            self.state
+        );
         self.transition(at, DcState::Active, None);
     }
 
     /// Setup failed; will retry.
     pub fn setup_failed_retry(&mut self, at: SimTime, cause: DataFailCause) {
-        assert_eq!(self.state, DcState::Activating, "setup_failed from {}", self.state);
+        assert_eq!(
+            self.state,
+            DcState::Activating,
+            "setup_failed from {}",
+            self.state
+        );
         self.transition(at, DcState::Retrying, Some(cause));
     }
 
@@ -144,7 +154,12 @@ impl DataConnectionFsm {
 
     /// Begin a teardown of the active connection.
     pub fn begin_disconnect(&mut self, at: SimTime) {
-        assert_eq!(self.state, DcState::Active, "begin_disconnect from {}", self.state);
+        assert_eq!(
+            self.state,
+            DcState::Active,
+            "begin_disconnect from {}",
+            self.state
+        );
         self.transition(at, DcState::Disconnecting, None);
     }
 
@@ -161,13 +176,23 @@ impl DataConnectionFsm {
 
     /// The connection dropped while `Active` (network-initiated loss).
     pub fn connection_lost(&mut self, at: SimTime, cause: DataFailCause) {
-        assert_eq!(self.state, DcState::Active, "connection_lost from {}", self.state);
+        assert_eq!(
+            self.state,
+            DcState::Active,
+            "connection_lost from {}",
+            self.state
+        );
         self.transition(at, DcState::Inactive, Some(cause));
     }
 
     /// Abandon a pending retry (user disabled data, policy change).
     pub fn cancel_retry(&mut self, at: SimTime) {
-        assert_eq!(self.state, DcState::Retrying, "cancel_retry from {}", self.state);
+        assert_eq!(
+            self.state,
+            DcState::Retrying,
+            "cancel_retry from {}",
+            self.state
+        );
         self.transition(at, DcState::Inactive, None);
     }
 

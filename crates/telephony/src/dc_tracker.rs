@@ -51,10 +51,7 @@ impl RetryPolicy {
     /// Delay before retry number `n` (1-based count of *failures so far*).
     pub fn delay_after(&self, failures: u32) -> SimDuration {
         let idx = (failures as usize).saturating_sub(1);
-        self.delays
-            .get(idx)
-            .copied()
-            .unwrap_or(self.steady_state)
+        self.delays.get(idx).copied().unwrap_or(self.steady_state)
     }
 
     /// Whether another retry is allowed after `failures` consecutive
@@ -138,7 +135,10 @@ impl DcTracker {
                     SetupVerdict::GaveUp(cause)
                 } else {
                     self.fsm.setup_failed_retry(now, cause);
-                    SetupVerdict::RetryAfter(self.retry.delay_after(self.consecutive_failures), cause)
+                    SetupVerdict::RetryAfter(
+                        self.retry.delay_after(self.consecutive_failures),
+                        cause,
+                    )
                 }
             }
         }
@@ -244,12 +244,7 @@ mod tests {
             SetupVerdict::RetryAfter(SimDuration::from_secs(5), DataFailCause::SignalLost)
         );
         assert_eq!(tracker.fsm().state(), DcState::Retrying);
-        let v = tracker.attempt_setup(
-            &mut modem,
-            &quiet_risk(),
-            SimTime::from_secs(5),
-            &mut rng,
-        );
+        let v = tracker.attempt_setup(&mut modem, &quiet_risk(), SimTime::from_secs(5), &mut rng);
         assert_eq!(
             v,
             SetupVerdict::RetryAfter(SimDuration::from_secs(10), DataFailCause::SignalLost)

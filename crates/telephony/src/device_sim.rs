@@ -376,9 +376,8 @@ impl<'a, L: TelephonyListener> DeviceSim<'a, L> {
         if self.cfg.sms_per_hour <= 0.0 {
             return;
         }
-        let wait = SimDuration::from_secs_f64(
-            self.rng.exp(3600.0 / self.cfg.sms_per_hour).max(10.0),
-        );
+        let wait =
+            SimDuration::from_secs_f64(self.rng.exp(3600.0 / self.cfg.sms_per_hour).max(10.0));
         queue.schedule_after(wait, WorldEvent::SmsSend);
     }
 
@@ -648,7 +647,11 @@ impl<'a, L: TelephonyListener> DeviceSim<'a, L> {
     fn handle_natural_heal(&mut self, now: SimTime, queue: &mut EventQueue<WorldEvent>) {
         if self.stall.is_some() {
             self.heal_link(now, queue);
-            if self.stall.as_ref().is_some_and(|ep| ep.detected_at.is_none()) {
+            if self
+                .stall
+                .as_ref()
+                .is_some_and(|ep| ep.detected_at.is_none())
+            {
                 // Healed before the detector ever fired: silent episode.
                 self.stall = None;
                 if self.recovery.active() {
@@ -744,7 +747,11 @@ impl<'a, L: TelephonyListener> DeviceSim<'a, L> {
         // Toggling data tears the bearer down and rebuilds it. That fixes
         // most network-side blackholes (fresh bearer) but not device-side
         // misconfigurations.
-        let fix_prob = if self.stall.as_ref().is_some_and(|e| e.condition.is_system_side()) {
+        let fix_prob = if self
+            .stall
+            .as_ref()
+            .is_some_and(|e| e.condition.is_system_side())
+        {
             0.25
         } else {
             0.85
@@ -785,16 +792,17 @@ impl<'a, L: TelephonyListener> DeviceSim<'a, L> {
             MobilityProfile::Commuter { work } => {
                 // Day/night schedule with jitter: at work 09–18 local time.
                 let hour = (now.as_secs() / 3600) % 24;
-                let target = if (9..18).contains(&hour) { work } else { self.cfg.home };
+                let target = if (9..18).contains(&hour) {
+                    work
+                } else {
+                    self.cfg.home
+                };
                 target.offset(self.rng.normal(0.0, 0.2), self.rng.normal(0.0, 0.2))
             }
-            MobilityProfile::Roamer { radius_km } => self
-                .cfg
-                .home
-                .offset(
-                    self.rng.normal(0.0, radius_km / 2.0),
-                    self.rng.normal(0.0, radius_km / 2.0),
-                ),
+            MobilityProfile::Roamer { radius_km } => self.cfg.home.offset(
+                self.rng.normal(0.0, radius_km / 2.0),
+                self.rng.normal(0.0, radius_km / 2.0),
+            ),
         };
         let moved_km = next.distance_km(self.pos);
         self.pos = next;
@@ -805,7 +813,11 @@ impl<'a, L: TelephonyListener> DeviceSim<'a, L> {
         if moved_km > 0.5 {
             if let Some(risk) = self.serving_risk {
                 self.stats.tau_attempts += 1;
-                if self.modem.tracking_area_update(&risk, &mut self.rng).is_err() {
+                if self
+                    .modem
+                    .tracking_area_update(&risk, &mut self.rng)
+                    .is_err()
+                {
                     self.stats.tau_failures += 1;
                     self.tracker.reset(now);
                     self.request_setup(now, queue);
@@ -817,9 +829,7 @@ impl<'a, L: TelephonyListener> DeviceSim<'a, L> {
 
     fn handle_sms_send(&mut self, now: SimTime, queue: &mut EventQueue<WorldEvent>) {
         if let (Some(view), Some(risk)) = (self.modem.serving().copied(), self.serving_risk) {
-            let (result, _attempts) =
-                self.sms
-                    .send_with_retries(view.rat, &risk, &mut self.rng);
+            let (result, _attempts) = self.sms.send_with_retries(view.rat, &risk, &mut self.rng);
             if result == crate::sms::SmsResult::Failed {
                 self.stats.sms_failures += 1;
                 self.emit(now, TelephonyEvent::SmsSendFailed);
@@ -854,8 +864,11 @@ impl<'a, L: TelephonyListener> DeviceSim<'a, L> {
         if on_legacy && self.modem.call().is_some() {
             self.stats.voice_interruptions += 1;
             self.emit(now, TelephonyEvent::VoiceCallInterruption);
-            self.tracker
-                .connection_lost(&mut self.modem, now, cellrel_types::DataFailCause::TetheredCallActive);
+            self.tracker.connection_lost(
+                &mut self.modem,
+                now,
+                cellrel_types::DataFailCause::TetheredCallActive,
+            );
             self.request_setup(now, queue);
         }
         self.schedule_next_voice_call(queue);
@@ -960,7 +973,10 @@ mod tests {
     #[test]
     fn device_connects_and_exchanges_traffic() {
         let (stats, log) = run_device(base_cfg(), 2, 42);
-        assert!(stats.setup_successes > 0, "device never connected: {stats:?}");
+        assert!(
+            stats.setup_successes > 0,
+            "device never connected: {stats:?}"
+        );
         assert!(log
             .iter()
             .any(|(_, e)| matches!(e, TelephonyEvent::DataSetupSuccess { .. })));
@@ -1029,11 +1045,11 @@ mod tests {
             let durs: Vec<f64> = log
                 .iter()
                 .filter_map(|(_, e)| match e {
-                    TelephonyEvent::DataStallCleared { duration, condition, .. }
-                        if !condition.is_system_side() =>
-                    {
-                        Some(duration.as_secs_f64())
-                    }
+                    TelephonyEvent::DataStallCleared {
+                        duration,
+                        condition,
+                        ..
+                    } if !condition.is_system_side() => Some(duration.as_secs_f64()),
                     _ => None,
                 })
                 .collect();
@@ -1081,10 +1097,8 @@ mod tests {
     #[test]
     fn commuters_move_and_exercise_mobility_management() {
         let mut world_rng = SimRng::new(77);
-        let env = RadioEnvironment::generate(
-            cellrel_radio::DeploymentConfig::small(),
-            &mut world_rng,
-        );
+        let env =
+            RadioEnvironment::generate(cellrel_radio::DeploymentConfig::small(), &mut world_rng);
         let mut cfg = base_cfg();
         cfg.home = env.city_centers()[0];
         let work = env.city_centers()[1 % env.city_centers().len()].offset(1.0, 0.5);
@@ -1108,10 +1122,8 @@ mod tests {
     #[test]
     fn roamers_wander_but_stationary_devices_do_not() {
         let mut world_rng = SimRng::new(78);
-        let env = RadioEnvironment::generate(
-            cellrel_radio::DeploymentConfig::small(),
-            &mut world_rng,
-        );
+        let env =
+            RadioEnvironment::generate(cellrel_radio::DeploymentConfig::small(), &mut world_rng);
         let mut cfg = base_cfg();
         cfg.home = env.city_centers()[0];
         cfg.mobility = MobilityProfile::Roamer { radius_km: 3.0 };

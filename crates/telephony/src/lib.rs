@@ -43,7 +43,9 @@ pub use apn_manager::ApnManager;
 pub use data_connection::{DataConnectionFsm, DcState};
 pub use dc_tracker::{DcTracker, RetryPolicy};
 pub use device_sim::{DeviceConfig, DeviceSim, MobilityProfile, WorldEvent};
-pub use events::{NullListener, RecordingBoth, RecordingListener, TelephonyEvent, TelephonyListener};
+pub use events::{
+    NullListener, RecordingBoth, RecordingListener, TelephonyEvent, TelephonyListener,
+};
 pub use rat_policy::{
     DualConnectivity, RatPolicyKind, RatSelectionPolicy, StabilityCompatible, VanillaAndroid10,
     VanillaAndroid11, VanillaAndroid9,

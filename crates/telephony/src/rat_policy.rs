@@ -69,14 +69,12 @@ impl RatPolicyKind {
             RatPolicyKind::StabilityCompatible => {
                 Box::new(DualConnectivity::new(StabilityCompatible::default()))
             }
-            RatPolicyKind::StabilityNoDualConnectivity => {
-                Box::new(StabilityCompatible::default())
-            }
-            RatPolicyKind::StabilityThreshold(level) => Box::new(DualConnectivity::new(
-                StabilityCompatible {
+            RatPolicyKind::StabilityNoDualConnectivity => Box::new(StabilityCompatible::default()),
+            RatPolicyKind::StabilityThreshold(level) => {
+                Box::new(DualConnectivity::new(StabilityCompatible {
                     min_upgrade_level: level,
-                },
-            )),
+                }))
+            }
         }
     }
 }
@@ -140,10 +138,9 @@ impl RatSelectionPolicy for VanillaAndroid11 {
     }
 
     fn select<'a>(&self, views: &'a [CellView], _current: Option<Rat>) -> Option<&'a CellView> {
-        views.iter().max_by(|a, b| {
-            (a.rat, a.level)
-                .cmp(&(b.rat, b.level))
-        })
+        views
+            .iter()
+            .max_by(|a, b| (a.rat, a.level).cmp(&(b.rat, b.level)))
     }
 }
 
@@ -202,8 +199,7 @@ impl RatSelectionPolicy for StabilityCompatible {
         if let Some(cur_rat) = current {
             if best.rat != cur_rat {
                 if let Some(cur_view) = usable.iter().copied().find(|v| v.rat == cur_rat) {
-                    let comfortable_upgrade =
-                        best.rat > cur_rat && best.level >= SignalLevel::L2;
+                    let comfortable_upgrade = best.rat > cur_rat && best.level >= SignalLevel::L2;
                     if !comfortable_upgrade {
                         return Some(cur_view);
                     }
@@ -328,7 +324,11 @@ mod tests {
         let sel = StabilityCompatible::default()
             .select(&views, Some(Rat::G4))
             .expect("candidate");
-        assert_eq!(sel.rat, Rat::G5, "usable 5G is preferred — no rate sacrifice");
+        assert_eq!(
+            sel.rat,
+            Rat::G5,
+            "usable 5G is preferred — no rate sacrifice"
+        );
     }
 
     #[test]
@@ -404,7 +404,9 @@ mod tests {
             let p = kind.build();
             assert!(!p.name().is_empty());
         }
-        assert!(RatPolicyKind::StabilityCompatible.build().dual_connectivity());
+        assert!(RatPolicyKind::StabilityCompatible
+            .build()
+            .dual_connectivity());
         assert!(!RatPolicyKind::Android10.build().dual_connectivity());
     }
 
@@ -415,7 +417,9 @@ mod tests {
             view(0, Rat::G4, SignalLevel::L4),
             view(1, Rat::G5, SignalLevel::L0),
         ];
-        let sel = VanillaAndroid11.select(&views, Some(Rat::G4)).expect("candidate");
+        let sel = VanillaAndroid11
+            .select(&views, Some(Rat::G4))
+            .expect("candidate");
         assert_eq!(sel.rat, Rat::G5);
         assert_eq!(sel.level, SignalLevel::L0);
     }

@@ -131,7 +131,9 @@ impl RecoveryConfig {
 enum Phase {
     Idle,
     /// Waiting out probation before executing stage `next` (0-based).
-    Probation { next: usize },
+    Probation {
+        next: usize,
+    },
     /// All three stages executed without success.
     Exhausted,
 }
@@ -260,7 +262,10 @@ mod tests {
     #[test]
     fn vanilla_config_is_one_minute() {
         let c = RecoveryConfig::vanilla();
-        assert!(c.probations.iter().all(|&p| p == SimDuration::from_secs(60)));
+        assert!(c
+            .probations
+            .iter()
+            .all(|&p| p == SimDuration::from_secs(60)));
         assert!(c.validate().is_ok());
     }
 

@@ -219,7 +219,10 @@ mod tests {
             let _ = svc.send_with_retries(Rat::G4, &dead_zone(), &mut rng);
         }
         let terminal_rate = svc.failures() as f64 / 10_000.0;
-        assert!(terminal_rate < 0.01, "terminal SMS failure rate {terminal_rate}");
+        assert!(
+            terminal_rate < 0.01,
+            "terminal SMS failure rate {terminal_rate}"
+        );
         assert!(svc.retries() > 0, "retries should occur at poor signal");
     }
 

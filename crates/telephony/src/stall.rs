@@ -95,7 +95,10 @@ mod tests {
         let t0 = SimTime::from_secs(10);
         stack.app_exchange(t0, 50);
 
-        assert_eq!(det.poll(t0 + SimDuration::from_secs(60), &mut stack), Some(true));
+        assert_eq!(
+            det.poll(t0 + SimDuration::from_secs(60), &mut stack),
+            Some(true)
+        );
         assert!(det.is_stalled());
         assert_eq!(det.detected_at(), Some(t0 + SimDuration::from_secs(60)));
 
@@ -106,7 +109,10 @@ mod tests {
         // Heal the link; inbound traffic clears the predicate.
         stack.set_link(LinkCondition::Healthy);
         stack.app_exchange(t0 + SimDuration::from_secs(130), 5);
-        assert_eq!(det.poll(t0 + SimDuration::from_secs(180), &mut stack), Some(false));
+        assert_eq!(
+            det.poll(t0 + SimDuration::from_secs(180), &mut stack),
+            Some(false)
+        );
         assert!(!det.is_stalled());
     }
 

@@ -173,10 +173,18 @@ mod tests {
             result.expected_time,
             result.vanilla_time
         );
-        assert!(result.improvement() > 0.05, "improvement {}", result.improvement());
+        assert!(
+            result.improvement() > 0.05,
+            "improvement {}",
+            result.improvement()
+        );
         // The optimum uses much shorter probations than one minute, like the
         // paper's (21, 6, 16).
-        assert!(result.probations.iter().all(|&p| p < 60), "{:?}", result.probations);
+        assert!(
+            result.probations.iter().all(|&p| p < 60),
+            "{:?}",
+            result.probations
+        );
     }
 
     #[test]
@@ -211,10 +219,7 @@ mod tests {
             ..Default::default()
         };
         let result = anneal_probations(&m, &cfg);
-        assert!(result
-            .probations
-            .iter()
-            .all(|&p| (10..=40).contains(&p)));
+        assert!(result.probations.iter().all(|&p| (10..=40).contains(&p)));
     }
 
     #[test]

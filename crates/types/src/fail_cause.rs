@@ -594,7 +594,12 @@ mod tests {
     fn codes_are_unique() {
         let mut seen = HashSet::new();
         for c in DataFailCause::NAMED {
-            assert!(seen.insert(c.code()), "duplicate code {} for {}", c.code(), c);
+            assert!(
+                seen.insert(c.code()),
+                "duplicate code {} for {}",
+                c.code(),
+                c
+            );
         }
     }
 
@@ -614,7 +619,10 @@ mod tests {
 
     #[test]
     fn table2_is_sorted_descending() {
-        let shares: Vec<f64> = DataFailCause::TABLE2_TOP10.iter().map(|(_, s)| *s).collect();
+        let shares: Vec<f64> = DataFailCause::TABLE2_TOP10
+            .iter()
+            .map(|(_, s)| *s)
+            .collect();
         assert!(shares.windows(2).all(|w| w[0] >= w[1]));
     }
 
@@ -678,6 +686,10 @@ mod tests {
     fn named_catalogue_is_substantial() {
         // We promise "~70 codes" in DESIGN.md; enforce a floor so the
         // catalogue does not silently shrink.
-        assert!(DataFailCause::NAMED.len() >= 70, "{}", DataFailCause::NAMED.len());
+        assert!(
+            DataFailCause::NAMED.len() >= 70,
+            "{}",
+            DataFailCause::NAMED.len()
+        );
     }
 }

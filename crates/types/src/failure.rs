@@ -150,7 +150,12 @@ impl fmt::Display for FailureEvent {
         write!(
             f,
             "[{}] {} on {} ({} {} via {}, {})",
-            self.start, self.kind, self.device, self.ctx.rat, self.ctx.signal, self.ctx.apn,
+            self.start,
+            self.kind,
+            self.device,
+            self.ctx.rat,
+            self.ctx.signal,
+            self.ctx.apn,
             self.ctx.isp
         )?;
         if let Some(c) = self.cause {

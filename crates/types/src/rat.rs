@@ -242,10 +242,7 @@ mod tests {
         let a = RatSet::from_slice(&[Rat::G2, Rat::G3]);
         let b = RatSet::from_slice(&[Rat::G3, Rat::G4]);
         assert_eq!(a.intersection(b), RatSet::from_slice(&[Rat::G3]));
-        assert_eq!(
-            a.union(b),
-            RatSet::from_slice(&[Rat::G2, Rat::G3, Rat::G4])
-        );
+        assert_eq!(a.union(b), RatSet::from_slice(&[Rat::G2, Rat::G3, Rat::G4]));
         assert!(RatSet::EMPTY.is_empty());
         assert_eq!(RatSet::EMPTY.highest(), None);
     }

@@ -12,9 +12,10 @@
 
 use cellrel_monitor::MonitoringService;
 use cellrel_radio::{DeploymentConfig, RadioEnvironment};
-use cellrel_sim::{EventQueue, SimRng};
+use cellrel_sim::{resolve_threads, run_sharded_merge, EventQueue, Merge, SimRng};
 use cellrel_telephony::{DeviceConfig, DeviceSim, RatPolicyKind, RecoveryConfig};
 use cellrel_types::{DeviceId, FailureKind, Isp, Rat, RatSet, SimTime};
+use std::collections::HashSet;
 
 /// Experiment arm label.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -60,6 +61,9 @@ pub struct AbConfig {
     /// Suppress user manual resets (isolates the recovery mechanism, as the
     /// duration analysis of Fig. 21 does).
     pub suppress_user_reset: bool,
+    /// Worker threads per arm (`0` = auto: `CELLREL_THREADS` or the
+    /// machine's available parallelism). Outcomes do not depend on this.
+    pub threads: usize,
 }
 
 impl Default for AbConfig {
@@ -70,6 +74,7 @@ impl Default for AbConfig {
             seed: 77,
             stall_rate_per_hour: 2.0,
             suppress_user_reset: false,
+            threads: 0,
         }
     }
 }
@@ -117,8 +122,30 @@ impl AbOutcome {
     }
 }
 
+/// Per-shard partial accumulation of an arm's failure records. Durations
+/// accumulate as integer milliseconds so the arm total is exact (and hence
+/// thread-count invariant) rather than a float sum in shard order.
+#[derive(Debug, Default)]
+struct ArmPartial {
+    by_kind: [u64; 5],
+    stall_durations: Vec<f64>,
+    duration_ms: u64,
+    failing_device_days: HashSet<(usize, u64)>,
+    failures: u64,
+}
+
+impl Merge for ArmPartial {
+    fn merge(&mut self, other: Self) {
+        self.by_kind.merge(other.by_kind);
+        self.stall_durations.merge(other.stall_durations);
+        self.duration_ms.merge(other.duration_ms);
+        self.failing_device_days.merge(other.failing_device_days);
+        self.failures.merge(other.failures);
+    }
+}
+
 /// Run one arm: a fleet of monitored 5G devices with the given policy and
-/// recovery configuration.
+/// recovery configuration, sharded over `cfg.threads` scoped threads.
 fn run_arm(
     arm: AbArm,
     policy: RatPolicyKind,
@@ -128,56 +155,58 @@ fn run_arm(
     let mut world_rng = SimRng::new(cfg.seed);
     let env = RadioEnvironment::generate(DeploymentConfig::small(), &mut world_rng);
     let horizon = SimTime::from_secs(cfg.days * 86_400);
+    let threads = resolve_threads(cfg.threads);
 
-    let mut by_kind = [0u64; 5];
-    let mut stall_durations = Vec::new();
-    let mut total_duration = 0.0;
-    let mut failing_device_days = std::collections::HashSet::new();
-    let mut total_failures = 0u64;
+    let part = run_sharded_merge(cfg.devices, threads, |range| {
+        let mut p = ArmPartial::default();
+        for i in range {
+            // Per-device world seed shared across arms (paired design):
+            // derived from the experiment seed and device index alone, so
+            // neither iteration order nor shard layout changes any
+            // device's draws.
+            let mut dev_rng = SimRng::for_substream(cfg.seed, i as u64);
+            // Spread homes from the city core out to the 5G coverage edge —
+            // the mixed exposure where the blind-5G policy does its damage.
+            let city = env.city_centers()[i % env.city_centers().len()];
+            let home = city.offset(dev_rng.normal(0.0, 4.0), dev_rng.normal(0.0, 4.0));
 
-    for i in 0..cfg.devices {
-        // Per-device world seed shared across arms (paired design): derive
-        // from the experiment seed and device index only.
-        let mut dev_rng = SimRng::new(cfg.seed ^ (i as u64).wrapping_mul(0x9E37_79B9));
-        // Spread homes from the city core out to the 5G coverage edge —
-        // the mixed exposure where the blind-5G policy does its damage.
-        let city = env.city_centers()[i % env.city_centers().len()];
-        let home = city.offset(dev_rng.normal(0.0, 4.0), dev_rng.normal(0.0, 4.0));
+            let mut dc = DeviceConfig::new(DeviceId(i as u32), Isp::A, home);
+            dc.rats = RatSet::up_to(Rat::G5);
+            dc.policy = policy;
+            dc.recovery = recovery;
+            dc.stall_rate_per_hour = cfg.stall_rate_per_hour;
+            if cfg.suppress_user_reset {
+                dc.user_reset_median_secs = 1e9;
+            }
 
-        let mut dc = DeviceConfig::new(DeviceId(i as u32), Isp::A, home);
-        dc.rats = RatSet::up_to(Rat::G5);
-        dc.policy = policy;
-        dc.recovery = recovery;
-        dc.stall_rate_per_hour = cfg.stall_rate_per_hour;
-        if cfg.suppress_user_reset {
-            dc.user_reset_median_secs = 1e9;
-        }
+            let monitor = MonitoringService::new(DeviceId(i as u32), dev_rng.fork(1));
+            let mut queue = EventQueue::new();
+            let mut sim = DeviceSim::new(dc, &env, monitor, dev_rng.fork(2), &mut queue);
+            queue.run_until(&mut sim, horizon);
 
-        let monitor = MonitoringService::new(DeviceId(i as u32), dev_rng.fork(1));
-        let mut queue = EventQueue::new();
-        let mut sim = DeviceSim::new(dc, &env, monitor, dev_rng.fork(2), &mut queue);
-        queue.run_until(&mut sim, horizon);
-
-        let records = sim.into_listener().into_records();
-        total_failures += records.len() as u64;
-        for r in &records {
-            by_kind[r.kind.index()] += 1;
-            total_duration += r.duration.as_secs_f64();
-            failing_device_days.insert((i, r.start.as_secs() / 86_400));
-            if r.kind == FailureKind::DataStall {
-                stall_durations.push(r.duration.as_secs_f64());
+            let records = sim.into_listener().into_records();
+            p.failures += records.len() as u64;
+            for r in &records {
+                p.by_kind[r.kind.index()] += 1;
+                p.duration_ms += r.duration.as_millis();
+                p.failing_device_days
+                    .insert((i, r.start.as_secs() / 86_400));
+                if r.kind == FailureKind::DataStall {
+                    p.stall_durations.push(r.duration.as_secs_f64());
+                }
             }
         }
-    }
+        p
+    });
 
     AbOutcome {
         arm,
         devices: cfg.devices,
-        prevalence: failing_device_days.len() as f64 / (cfg.devices as f64 * cfg.days as f64),
-        frequency: total_failures as f64 / cfg.devices as f64,
-        by_kind,
-        stall_durations,
-        total_duration_secs: total_duration,
+        prevalence: part.failing_device_days.len() as f64 / (cfg.devices as f64 * cfg.days as f64),
+        frequency: part.failures as f64 / cfg.devices as f64,
+        by_kind: part.by_kind,
+        stall_durations: part.stall_durations,
+        total_duration_secs: part.duration_ms as f64 / 1000.0,
     }
 }
 
@@ -234,6 +263,7 @@ mod tests {
             seed: 11,
             stall_rate_per_hour: 2.0,
             suppress_user_reset: false,
+            threads: 0,
         };
         let (vanilla, patched) = run_rat_policy_ab(&cfg);
         assert_eq!(vanilla.arm, AbArm::VanillaAndroid10);
@@ -255,6 +285,7 @@ mod tests {
             seed: 12,
             stall_rate_per_hour: 4.0,
             suppress_user_reset: true,
+            threads: 0,
         };
         let (vanilla, timp) = run_recovery_ab(&cfg);
         assert!(
@@ -278,6 +309,7 @@ mod tests {
             seed: 13,
             stall_rate_per_hour: 3.0,
             suppress_user_reset: false,
+            threads: 0,
         };
         let (vanilla, _) = run_rat_policy_ab(&cfg);
         let total: u64 = vanilla.by_kind.iter().sum();
@@ -287,5 +319,34 @@ mod tests {
             vanilla.by_kind[FailureKind::DataStall.index()] as usize,
             vanilla.stall_durations.len()
         );
+    }
+
+    #[test]
+    fn arm_is_thread_count_invariant() {
+        let base_cfg = AbConfig {
+            devices: 6,
+            days: 1,
+            seed: 14,
+            stall_rate_per_hour: 3.0,
+            suppress_user_reset: false,
+            threads: 1,
+        };
+        let base = run_custom_arm(RatPolicyKind::Android10, &base_cfg);
+        assert!(base.frequency > 0.0, "base arm saw no failures");
+        for threads in [2usize, 3, 8] {
+            let cfg = AbConfig {
+                threads,
+                ..base_cfg
+            };
+            let o = run_custom_arm(RatPolicyKind::Android10, &cfg);
+            assert_eq!(o.by_kind, base.by_kind, "threads={threads}");
+            assert_eq!(o.stall_durations, base.stall_durations, "threads={threads}");
+            assert_eq!(
+                o.total_duration_secs, base.total_duration_secs,
+                "threads={threads}"
+            );
+            assert_eq!(o.prevalence, base.prevalence, "threads={threads}");
+            assert_eq!(o.frequency, base.frequency, "threads={threads}");
+        }
     }
 }

@@ -197,7 +197,9 @@ mod tests {
         for _ in 0..200_000 {
             let bs = a.assign(Isp::A, Rat::G4, &mut rng);
             // Recover index from cid.
-            let BsId::Gsm { cid, .. } = bs.id else { unreachable!() };
+            let BsId::Gsm { cid, .. } = bs.id else {
+                unreachable!()
+            };
             *counts.entry(cid as usize).or_default() += 1;
         }
         let mut ranked: Vec<(usize, u64)> = counts.into_iter().collect();

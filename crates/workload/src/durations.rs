@@ -63,11 +63,7 @@ pub fn sample_auto_heal_secs(rng: &mut SimRng) -> f64 {
 }
 
 /// Convenience: sample as a [`SimDuration`].
-pub fn sample_duration(
-    kind: FailureKind,
-    rng: &mut SimRng,
-    disrepair_region: bool,
-) -> SimDuration {
+pub fn sample_duration(kind: FailureKind, rng: &mut SimRng, disrepair_region: bool) -> SimDuration {
     SimDuration::from_secs_f64(sample_duration_secs(kind, rng, disrepair_region))
 }
 
@@ -132,7 +128,9 @@ mod tests {
     #[test]
     fn auto_heal_matches_fig10() {
         let mut rng = SimRng::new(4);
-        let xs: Vec<f64> = (0..100_000).map(|_| sample_auto_heal_secs(&mut rng)).collect();
+        let xs: Vec<f64> = (0..100_000)
+            .map(|_| sample_auto_heal_secs(&mut rng))
+            .collect();
         let n = xs.len() as f64;
         let by10 = xs.iter().filter(|&&d| d <= 10.0).count() as f64 / n;
         let by300 = xs.iter().filter(|&&d| d < 300.0).count() as f64 / n;

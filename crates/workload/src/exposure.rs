@@ -83,7 +83,12 @@ impl FailureLevelSampler {
             WeightedIndex::new(&weights)
         };
         FailureLevelSampler {
-            samplers: [build(Rat::G2), build(Rat::G3), build(Rat::G4), build(Rat::G5)],
+            samplers: [
+                build(Rat::G2),
+                build(Rat::G3),
+                build(Rat::G4),
+                build(Rat::G5),
+            ],
         }
     }
 
@@ -137,8 +142,7 @@ pub fn sample_transition_failure(
     rng: &mut SimRng,
 ) -> bool {
     let baseline = normalized_prevalence_by_rat(to_rat, to_level) * 0.5;
-    let p = baseline
-        + transition_risk_increase(from_rat, from_level, to_rat, to_level).max(0.0);
+    let p = baseline + transition_risk_increase(from_rat, from_level, to_rat, to_level).max(0.0);
     rng.chance(p.clamp(0.0, 0.97))
 }
 
@@ -170,12 +174,10 @@ mod tests {
     fn fig16_5g_riskier_and_3g_idler_than_4g() {
         for l in SignalLevel::ALL {
             assert!(
-                normalized_prevalence_by_rat(Rat::G5, l)
-                    > normalized_prevalence_by_rat(Rat::G4, l)
+                normalized_prevalence_by_rat(Rat::G5, l) > normalized_prevalence_by_rat(Rat::G4, l)
             );
             assert!(
-                normalized_prevalence_by_rat(Rat::G3, l)
-                    < normalized_prevalence_by_rat(Rat::G4, l)
+                normalized_prevalence_by_rat(Rat::G3, l) < normalized_prevalence_by_rat(Rat::G4, l)
             );
         }
     }
@@ -199,12 +201,7 @@ mod tests {
     fn fig17f_worst_cell_is_4g_good_to_5g_dead() {
         // 4G level-4 → 5G level-0 must be the worst 4G→5G transition, with
         // an increase in the neighbourhood of the paper's +0.37.
-        let worst = transition_risk_increase(
-            Rat::G4,
-            SignalLevel::L4,
-            Rat::G5,
-            SignalLevel::L0,
-        );
+        let worst = transition_risk_increase(Rat::G4, SignalLevel::L4, Rat::G5, SignalLevel::L0);
         assert!((0.25..0.5).contains(&worst), "worst-cell increase {worst}");
         for i in SignalLevel::ALL {
             for j in SignalLevel::ALL {
@@ -266,9 +263,6 @@ mod tests {
                 )
             })
             .count();
-        assert!(
-            risky > safe * 2,
-            "risky {risky} vs safe {safe} out of {n}"
-        );
+        assert!(risky > safe * 2, "risky {risky} vs safe {safe} out of {n}");
     }
 }

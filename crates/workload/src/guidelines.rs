@@ -17,7 +17,20 @@
 //!   saturates — an interior optimum, not a monotone win.
 
 use cellrel_radio::{BaseStation, Environment, Pos, RiskFactors};
+use cellrel_sim::{auto_threads, run_sharded};
 use cellrel_types::{BsId, Isp, Rat, RatSet, SignalLevel};
+
+/// Evaluate `point` for every index in `0..n`, sharded over the auto
+/// thread count. Each point is a pure function of its index, so the
+/// concatenated result is identical to the sequential map.
+fn sweep_points<T: Send>(n: usize, point: impl Fn(usize) -> T + Sync) -> Vec<T> {
+    run_sharded(n, auto_threads(), |range| {
+        range.map(&point).collect::<Vec<T>>()
+    })
+    .into_iter()
+    .flatten()
+    .collect()
+}
 
 fn hub_site(neighbors: u32, gap_mhz: f64, load: f64) -> BaseStation {
     BaseStation {
@@ -50,19 +63,18 @@ pub struct DensityPoint {
 /// as the paper observes at hubs).
 pub fn density_sweep(max_neighbors: u32, step: u32) -> Vec<DensityPoint> {
     assert!(step > 0);
-    (0..=max_neighbors)
-        .step_by(step as usize)
-        .map(|n| {
-            let bs = hub_site(n, 5.0, 0.85);
-            let l5 = RiskFactors::assess(&bs, Rat::G4, SignalLevel::L5).setup_failure_prob();
-            let l3 = RiskFactors::assess(&bs, Rat::G4, SignalLevel::L3).setup_failure_prob();
-            DensityPoint {
-                neighbors: n,
-                l5_failure_prob: l5,
-                l3_failure_prob: l3,
-            }
-        })
-        .collect()
+    let ns: Vec<u32> = (0..=max_neighbors).step_by(step as usize).collect();
+    sweep_points(ns.len(), |idx| {
+        let n = ns[idx];
+        let bs = hub_site(n, 5.0, 0.85);
+        let l5 = RiskFactors::assess(&bs, Rat::G4, SignalLevel::L5).setup_failure_prob();
+        let l3 = RiskFactors::assess(&bs, Rat::G4, SignalLevel::L3).setup_failure_prob();
+        DensityPoint {
+            neighbors: n,
+            l5_failure_prob: l5,
+            l3_failure_prob: l3,
+        }
+    })
 }
 
 /// One point of the frequency-coordination sweep.
@@ -78,18 +90,16 @@ pub struct GapPoint {
 
 /// Sweep cross-ISP carrier separation at a dense hub.
 pub fn cross_isp_gap_sweep(gaps_mhz: &[f64]) -> Vec<GapPoint> {
-    gaps_mhz
-        .iter()
-        .map(|&gap| {
-            let bs = hub_site(40, gap, 0.85);
-            let risk = RiskFactors::assess(&bs, Rat::G4, SignalLevel::L5);
-            GapPoint {
-                gap_mhz: gap,
-                interference: risk.interference,
-                l5_failure_prob: risk.setup_failure_prob(),
-            }
-        })
-        .collect()
+    sweep_points(gaps_mhz.len(), |idx| {
+        let gap = gaps_mhz[idx];
+        let bs = hub_site(40, gap, 0.85);
+        let risk = RiskFactors::assess(&bs, Rat::G4, SignalLevel::L5);
+        GapPoint {
+            gap_mhz: gap,
+            interference: risk.interference,
+            l5_failure_prob: risk.setup_failure_prob(),
+        }
+    })
 }
 
 /// One point of the idle-3G offload sweep.
@@ -117,23 +127,21 @@ pub fn idle_3g_offload_sweep(site_load: f64, steps: u32) -> Vec<OffloadPoint> {
         let excess = (l - 0.7).max(0.0) / 0.3;
         (0.35 * excess * excess).min(0.35)
     };
-    (0..=steps)
-        .map(|i| {
-            let f = i as f64 / steps as f64; // offload fraction 0..1
-            let d4 = 1.0 - 0.65 * f; // demand leaving 4G
-            let d3 = 0.35 + 0.65 * f; // arriving at 3G
-            let g4 = rejection(d4);
-            let g3 = rejection(d3);
-            // Weight rejections by where the traffic actually is.
-            let total = (g4 * d4 + g3 * d3) / (d4 + d3);
-            OffloadPoint {
-                offload_fraction: f,
-                g4_rejection: g4,
-                g3_rejection: g3,
-                total_rejection: total,
-            }
-        })
-        .collect()
+    sweep_points(steps as usize + 1, |i| {
+        let f = i as f64 / steps as f64; // offload fraction 0..1
+        let d4 = 1.0 - 0.65 * f; // demand leaving 4G
+        let d3 = 0.35 + 0.65 * f; // arriving at 3G
+        let g4 = rejection(d4);
+        let g3 = rejection(d3);
+        // Weight rejections by where the traffic actually is.
+        let total = (g4 * d4 + g3 * d3) / (d4 + d3);
+        OffloadPoint {
+            offload_fraction: f,
+            g4_rejection: g4,
+            g3_rejection: g3,
+            total_rejection: total,
+        }
+    })
 }
 
 #[cfg(test)]
@@ -198,6 +206,21 @@ mod tests {
         // …but dumping everything onto 3G overshoots.
         assert!(best.total_rejection < full.total_rejection);
         assert!(best.offload_fraction > 0.0 && best.offload_fraction < 1.0);
+    }
+
+    #[test]
+    fn sweeps_are_deterministic_and_ordered() {
+        assert_eq!(density_sweep(60, 10), density_sweep(60, 10));
+        let gaps = [0.0, 5.0, 40.0];
+        assert_eq!(cross_isp_gap_sweep(&gaps), cross_isp_gap_sweep(&gaps));
+        assert_eq!(
+            idle_3g_offload_sweep(0.9, 12),
+            idle_3g_offload_sweep(0.9, 12)
+        );
+        // Sharded evaluation must preserve point order.
+        let sweep = density_sweep(60, 10);
+        let ns: Vec<u32> = sweep.iter().map(|p| p.neighbors).collect();
+        assert_eq!(ns, vec![0, 10, 20, 30, 40, 50, 60]);
     }
 
     #[test]

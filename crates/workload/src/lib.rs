@@ -33,4 +33,7 @@ pub use ab::{run_rat_policy_ab, run_recovery_ab, AbArm, AbConfig, AbOutcome};
 pub use bs_assign::BsAssigner;
 pub use models::{PhoneModelSpec, MODELS};
 pub use population::{DeviceProfile, Population, PopulationConfig};
-pub use study::{run_macro_study, run_macro_study_streaming, StudyConfig, StudyDataset};
+pub use study::{
+    run_macro_study, run_macro_study_parallel, run_macro_study_streaming, EventSink, StudyConfig,
+    StudyDataset,
+};

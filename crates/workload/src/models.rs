@@ -169,14 +169,18 @@ mod tests {
     #[test]
     fn five_g_models_fail_more() {
         // Fig. 6/7: 5G models above non-5G in both prevalence and frequency.
-        let (g5_p, g5_f, g5_n) = MODELS.iter().filter(|m| m.hw.has_5g_modem).fold(
-            (0.0, 0.0, 0.0),
-            |(p, f, n), m| (p + m.prevalence, f + m.frequency, n + 1.0),
-        );
-        let (o_p, o_f, o_n) = MODELS.iter().filter(|m| !m.hw.has_5g_modem).fold(
-            (0.0, 0.0, 0.0),
-            |(p, f, n), m| (p + m.prevalence, f + m.frequency, n + 1.0),
-        );
+        let (g5_p, g5_f, g5_n) = MODELS
+            .iter()
+            .filter(|m| m.hw.has_5g_modem)
+            .fold((0.0, 0.0, 0.0), |(p, f, n), m| {
+                (p + m.prevalence, f + m.frequency, n + 1.0)
+            });
+        let (o_p, o_f, o_n) = MODELS
+            .iter()
+            .filter(|m| !m.hw.has_5g_modem)
+            .fold((0.0, 0.0, 0.0), |(p, f, n), m| {
+                (p + m.prevalence, f + m.frequency, n + 1.0)
+            });
         assert!(g5_p / g5_n > o_p / o_n);
         assert!(g5_f / g5_n > o_f / o_n);
     }

@@ -92,13 +92,20 @@ pub struct Population {
 }
 
 impl Population {
+    /// An empty population — the degenerate case of a study with no
+    /// devices. `generate` always produces at least one device.
+    pub fn empty() -> Self {
+        Population {
+            devices: Vec::new(),
+        }
+    }
+
     /// Generate deterministically from `rng`.
     pub fn generate(cfg: &PopulationConfig, rng: &mut SimRng) -> Self {
         assert!(cfg.devices > 0);
         let mut rng = rng.fork(0xD0D0);
         let model_sampler = models::model_sampler();
-        let isp_sampler =
-            WeightedIndex::new(&Isp::ALL.map(|i| i.user_share()));
+        let isp_sampler = WeightedIndex::new(&Isp::ALL.map(|i| i.user_share()));
         // Unit-mean log-normal: mu = -sigma²/2.
         let mu = -cfg.proneness_sigma * cfg.proneness_sigma / 2.0;
 
@@ -164,8 +171,7 @@ mod tests {
     fn isp_mix_tracks_user_share() {
         let p = pop(40_000, 2);
         for isp in Isp::ALL {
-            let share =
-                p.devices().iter().filter(|d| d.isp == isp).count() as f64 / p.len() as f64;
+            let share = p.devices().iter().filter(|d| d.isp == isp).count() as f64 / p.len() as f64;
             assert!(
                 (share - isp.user_share()).abs() < 0.02,
                 "{isp} share {share}"
@@ -176,8 +182,7 @@ mod tests {
     #[test]
     fn proneness_has_unit_mean_and_heavy_tail() {
         let p = pop(40_000, 3);
-        let mean: f64 =
-            p.devices().iter().map(|d| d.proneness).sum::<f64>() / p.len() as f64;
+        let mean: f64 = p.devices().iter().map(|d| d.proneness).sum::<f64>() / p.len() as f64;
         assert!((mean - 1.0).abs() < 0.12, "proneness mean {mean}");
         let max = p.devices().iter().map(|d| d.proneness).fold(0.0, f64::max);
         assert!(max > 10.0, "proneness tail too light: max {max}");

@@ -11,10 +11,8 @@ use crate::durations;
 use crate::exposure::FailureLevelSampler;
 use crate::population::{DeviceProfile, Population, PopulationConfig};
 use cellrel_modem::cause_mix::CauseMix;
-use cellrel_sim::SimRng;
-use cellrel_types::{
-    Apn, FailureEvent, FailureKind, InSituInfo, Rat, SimDuration, SimTime,
-};
+use cellrel_sim::{resolve_threads, run_sharded, Merge, SimRng};
+use cellrel_types::{Apn, FailureEvent, FailureKind, InSituInfo, Rat, SimDuration, SimTime};
 
 /// Macro study parameters.
 #[derive(Debug, Clone, Copy)]
@@ -69,8 +67,8 @@ pub const OOS_PRONE_SHARE: f64 = 0.22;
 pub fn kind_weights_for(oos_prone: bool) -> [f64; 5] {
     if oos_prone {
         let w_oos = KIND_WEIGHTS[2] / OOS_PRONE_SHARE;
-        let scale = (1.0 - w_oos - KIND_WEIGHTS[3] - KIND_WEIGHTS[4])
-            / (KIND_WEIGHTS[0] + KIND_WEIGHTS[1]);
+        let scale =
+            (1.0 - w_oos - KIND_WEIGHTS[3] - KIND_WEIGHTS[4]) / (KIND_WEIGHTS[0] + KIND_WEIGHTS[1]);
         [
             KIND_WEIGHTS[0] * scale,
             KIND_WEIGHTS[1] * scale,
@@ -79,8 +77,7 @@ pub fn kind_weights_for(oos_prone: bool) -> [f64; 5] {
             KIND_WEIGHTS[4],
         ]
     } else {
-        let scale = (1.0 - KIND_WEIGHTS[3] - KIND_WEIGHTS[4])
-            / (KIND_WEIGHTS[0] + KIND_WEIGHTS[1]);
+        let scale = (1.0 - KIND_WEIGHTS[3] - KIND_WEIGHTS[4]) / (KIND_WEIGHTS[0] + KIND_WEIGHTS[1]);
         [
             KIND_WEIGHTS[0] * scale,
             KIND_WEIGHTS[1] * scale,
@@ -112,14 +109,22 @@ impl StudyDataset {
         SimDuration::from_days(self.config.days)
     }
 
-    /// Fraction of devices with ≥1 failure.
+    /// Fraction of devices with ≥1 failure. An empty population has no
+    /// failing devices, so the rate is 0 rather than 0/0.
     pub fn overall_prevalence(&self) -> f64 {
+        if self.per_device_counts.is_empty() {
+            return 0.0;
+        }
         let failing = self.per_device_counts.iter().filter(|&&c| c > 0).count();
         failing as f64 / self.per_device_counts.len() as f64
     }
 
-    /// Mean failures per device (including zero-failure devices).
+    /// Mean failures per device (including zero-failure devices); 0 for an
+    /// empty population.
     pub fn overall_frequency(&self) -> f64 {
+        if self.per_device_counts.is_empty() {
+            return 0.0;
+        }
         self.events.len() as f64 / self.per_device_counts.len() as f64
     }
 }
@@ -136,6 +141,105 @@ fn rat_mix(has_5g: bool) -> ([Rat; 4], [f64; 4]) {
     }
 }
 
+/// A receiver for generated failure events — the streaming / parallel
+/// counterpart of materialising a `Vec<FailureEvent>`. Parallel drivers
+/// build one sink per shard and fold them with [`Merge`], so a sink used
+/// with [`run_macro_study_parallel`] must make `merge` behave like "the
+/// other shard's events recorded after mine".
+pub trait EventSink {
+    /// Record one failure event.
+    fn record(&mut self, event: &FailureEvent);
+}
+
+impl EventSink for Vec<FailureEvent> {
+    fn record(&mut self, event: &FailureEvent) {
+        self.push(*event);
+    }
+}
+
+/// Discarding sink, for runs that only need the per-device counts.
+impl EventSink for () {
+    fn record(&mut self, _event: &FailureEvent) {}
+}
+
+/// Read-only per-run context shared by every shard of a study run.
+struct StudyCtx {
+    bs: BsAssigner,
+    level_sampler: FailureLevelSampler,
+    cause_mix: CauseMix,
+    window_ms: u64,
+    /// Root of the event-stream randomness; each device derives its own
+    /// substream from `(event_root, device_id)` alone, so event draws are
+    /// independent of iteration order and shard layout.
+    event_root: u64,
+}
+
+/// Build the population, BS directory and shared samplers for a run. The
+/// world-generation draws stay on the sequential root stream (identical to
+/// the pre-parallel driver); only the event stream is per-device.
+fn study_ctx(cfg: &StudyConfig) -> (Population, StudyCtx) {
+    let mut rng = SimRng::new(cfg.seed);
+    let population = Population::generate(&cfg.population, &mut rng);
+    let bs = BsAssigner::new(cfg.bs_count, &mut rng);
+    let event_root = rng.fork(0xEE).seed();
+    let ctx = StudyCtx {
+        bs,
+        level_sampler: FailureLevelSampler::new(),
+        cause_mix: CauseMix::table2(),
+        window_ms: cfg.days * 86_400_000,
+        event_root,
+    };
+    (population, ctx)
+}
+
+/// Generate one device's failures into `sink` from the device's own
+/// substream; returns the device's failure count (0 if it never fails).
+fn emit_device_failures(
+    dev: &DeviceProfile,
+    ctx: &StudyCtx,
+    sink: &mut impl FnMut(&FailureEvent),
+) -> u32 {
+    let mut ev_rng = SimRng::for_substream(ctx.event_root, dev.id.0 as u64);
+    if !ev_rng.chance(dev.failure_prevalence()) {
+        return 0;
+    }
+    let count = draw_failure_count(dev, &mut ev_rng);
+    let (rats, rat_weights) = rat_mix(dev.spec().hw.has_5g_modem);
+    let oos_prone = dev.remote_region || ev_rng.chance(OOS_PRONE_SHARE - 0.03);
+    let kind_weights = kind_weights_for(oos_prone);
+    for _ in 0..count {
+        let kind = match ev_rng.weighted_index(&kind_weights) {
+            0 => FailureKind::DataSetupError,
+            1 => FailureKind::DataStall,
+            2 => FailureKind::OutOfService,
+            3 => FailureKind::SmsSendFail,
+            _ => FailureKind::VoiceSetupFail,
+        };
+        let rat = rats[ev_rng.weighted_index(&rat_weights)];
+        let level = ctx.level_sampler.sample(rat, &mut ev_rng);
+        let site = ctx.bs.assign(dev.isp, rat, &mut ev_rng);
+        let cause =
+            (kind == FailureKind::DataSetupError).then(|| ctx.cause_mix.sample(&mut ev_rng));
+        let duration = durations::sample_duration(kind, &mut ev_rng, dev.remote_region);
+        let start = SimTime::from_millis(ev_rng.range_u64(0, ctx.window_ms));
+        sink(&FailureEvent {
+            device: dev.id,
+            kind,
+            start,
+            duration,
+            cause,
+            ctx: InSituInfo {
+                rat,
+                signal: level,
+                apn: Apn::Internet,
+                bs: Some(site.id),
+                isp: dev.isp,
+            },
+        });
+    }
+    count
+}
+
 /// Run the macro study in streaming form: every generated failure event is
 /// handed to `sink` instead of being materialised, so fleets of 10⁶+
 /// devices run in memory bounded by the BS directory and per-device counts.
@@ -145,64 +249,60 @@ pub fn run_macro_study_streaming(
     cfg: &StudyConfig,
     mut sink: impl FnMut(&FailureEvent),
 ) -> (Population, Vec<u32>, BsAssigner) {
-    let mut rng = SimRng::new(cfg.seed);
-    let population = Population::generate(&cfg.population, &mut rng);
-    let bs = BsAssigner::new(cfg.bs_count, &mut rng);
-    let level_sampler = FailureLevelSampler::new();
-    let cause_mix = CauseMix::table2();
-    let window_ms = cfg.days * 86_400_000;
-
-    let mut per_device_counts = vec![0u32; population.len()];
-    let mut ev_rng = rng.fork(0xEE);
-
+    let (population, ctx) = study_ctx(cfg);
+    let mut per_device_counts = Vec::with_capacity(population.len());
     for dev in population.devices() {
-        if !ev_rng.chance(dev.failure_prevalence()) {
-            continue;
-        }
-        let count = draw_failure_count(dev, &mut ev_rng);
-        per_device_counts[dev.id.0 as usize] = count;
-        let (rats, rat_weights) = rat_mix(dev.spec().hw.has_5g_modem);
-        let oos_prone = dev.remote_region || ev_rng.chance(OOS_PRONE_SHARE - 0.03);
-        let kind_weights = kind_weights_for(oos_prone);
-        for _ in 0..count {
-            let kind = match ev_rng.weighted_index(&kind_weights) {
-                0 => FailureKind::DataSetupError,
-                1 => FailureKind::DataStall,
-                2 => FailureKind::OutOfService,
-                3 => FailureKind::SmsSendFail,
-                _ => FailureKind::VoiceSetupFail,
-            };
-            let rat = rats[ev_rng.weighted_index(&rat_weights)];
-            let level = level_sampler.sample(rat, &mut ev_rng);
-            let site = bs.assign(dev.isp, rat, &mut ev_rng);
-            let cause =
-                (kind == FailureKind::DataSetupError).then(|| cause_mix.sample(&mut ev_rng));
-            let duration = durations::sample_duration(kind, &mut ev_rng, dev.remote_region);
-            let start = SimTime::from_millis(ev_rng.range_u64(0, window_ms));
-            sink(&FailureEvent {
-                device: dev.id,
-                kind,
-                start,
-                duration,
-                cause,
-                ctx: InSituInfo {
-                    rat,
-                    signal: level,
-                    apn: Apn::Internet,
-                    bs: Some(site.id),
-                    isp: dev.isp,
-                },
-            });
-        }
+        per_device_counts.push(emit_device_failures(dev, &ctx, &mut sink));
     }
-    (population, per_device_counts, bs)
+    (population, per_device_counts, ctx.bs)
 }
 
-/// Run the macro study, materialising the full event list.
+/// Run the macro study sharded over up to `threads` scoped threads
+/// (`0` = auto: `CELLREL_THREADS` or the machine's available parallelism).
+///
+/// Each shard generates a contiguous slice of devices into its own sink
+/// built by `make_sink`; shard sinks are folded in shard order with
+/// [`Merge`] at the end. Because every device draws from its own substream
+/// and shards are contiguous, the result is **bit-identical at any thread
+/// count**, including 1 — and identical to [`run_macro_study_streaming`].
+pub fn run_macro_study_parallel<S, F>(
+    cfg: &StudyConfig,
+    threads: usize,
+    make_sink: F,
+) -> (Population, Vec<u32>, BsAssigner, S)
+where
+    S: EventSink + Merge + Send,
+    F: Fn() -> S + Sync,
+{
+    let (population, ctx) = study_ctx(cfg);
+    let threads = resolve_threads(threads);
+    let devices = population.devices();
+    let shards = run_sharded(devices.len(), threads, |range| {
+        let mut sink = make_sink();
+        let mut counts = Vec::with_capacity(range.len());
+        for dev in &devices[range] {
+            counts.push(emit_device_failures(dev, &ctx, &mut |e| sink.record(e)));
+        }
+        (counts, sink)
+    });
+    let mut per_device_counts = Vec::with_capacity(devices.len());
+    let mut merged: Option<S> = None;
+    for (counts, sink) in shards {
+        per_device_counts.extend(counts);
+        match merged.as_mut() {
+            Some(m) => m.merge(sink),
+            None => merged = Some(sink),
+        }
+    }
+    let sink = merged.unwrap_or_else(&make_sink);
+    (population, per_device_counts, ctx.bs, sink)
+}
+
+/// Run the macro study, materialising the full event list. Uses the
+/// parallel driver with the auto thread count; output does not depend on
+/// the thread count.
 pub fn run_macro_study(cfg: &StudyConfig) -> StudyDataset {
-    let mut events = Vec::new();
-    let (population, per_device_counts, bs) =
-        run_macro_study_streaming(cfg, |e| events.push(*e));
+    let (population, per_device_counts, bs, events) = run_macro_study_parallel(cfg, 0, Vec::new);
     StudyDataset {
         config: *cfg,
         population,
@@ -361,6 +461,46 @@ mod tests {
         assert_eq!(per_device, full.per_device_counts);
         let full_sum: u64 = full.events.iter().map(|e| e.duration.as_millis()).sum();
         assert_eq!(duration_sum, full_sum);
+        // The parallel path produces the same bytes at every thread count.
+        for threads in [1usize, 2, 8] {
+            let (_, par_counts, _, par_events) = run_macro_study_parallel(&cfg, threads, Vec::new);
+            assert_eq!(par_counts, full.per_device_counts, "threads={threads}");
+            assert_eq!(par_events, full.events, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_is_thread_count_invariant() {
+        let cfg = StudyConfig {
+            seed: 99,
+            population: PopulationConfig {
+                devices: 600,
+                ..Default::default()
+            },
+            bs_count: 500,
+            ..Default::default()
+        };
+        let (_, base_counts, _, base_events) =
+            run_macro_study_parallel::<Vec<FailureEvent>, _>(&cfg, 1, Vec::new);
+        for threads in [2usize, 3, 8] {
+            let (_, counts, _, events) = run_macro_study_parallel(&cfg, threads, Vec::new);
+            assert_eq!(counts, base_counts, "threads={threads}");
+            assert_eq!(events, base_events, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn empty_dataset_rates_are_zero_not_nan() {
+        let mut rng = SimRng::new(1);
+        let d = StudyDataset {
+            config: StudyConfig::default(),
+            population: Population::empty(),
+            events: Vec::new(),
+            per_device_counts: Vec::new(),
+            bs: BsAssigner::new(10, &mut rng),
+        };
+        assert_eq!(d.overall_prevalence(), 0.0);
+        assert_eq!(d.overall_frequency(), 0.0);
     }
 
     #[test]

@@ -10,9 +10,7 @@
 use cellrel::monitor::MonitoringService;
 use cellrel::radio::{DeploymentConfig, RadioEnvironment};
 use cellrel::sim::{EventQueue, SimRng};
-use cellrel::telephony::{
-    DeviceConfig, DeviceSim, RatPolicyKind, RecordingBoth, TelephonyEvent,
-};
+use cellrel::telephony::{DeviceConfig, DeviceSim, RatPolicyKind, RecordingBoth, TelephonyEvent};
 use cellrel::types::{DeviceId, Isp, Rat, RatSet, SimTime};
 
 fn main() {
@@ -62,7 +60,9 @@ fn main() {
             rec.duration,
             rec.ctx.rat,
             rec.ctx.signal,
-            rec.cause.map(|c| c.to_string()).unwrap_or_else(|| "-".into())
+            rec.cause
+                .map(|c| c.to_string())
+                .unwrap_or_else(|| "-".into())
         );
     }
     println!(
@@ -77,7 +77,10 @@ fn main() {
 fn describe(ev: &TelephonyEvent) -> String {
     match ev {
         TelephonyEvent::DataSetupError { cause, ctx } => {
-            format!("Data_Setup_Error cause={cause} ({} {})", ctx.rat, ctx.signal)
+            format!(
+                "Data_Setup_Error cause={cause} ({} {})",
+                ctx.rat, ctx.signal
+            )
         }
         TelephonyEvent::DataSetupSuccess { ctx } => {
             format!("data call up ({} {})", ctx.rat, ctx.signal)

@@ -7,9 +7,7 @@
 //! ```
 
 use cellrel::analysis::Table;
-use cellrel::workload::guidelines::{
-    cross_isp_gap_sweep, density_sweep, idle_3g_offload_sweep,
-};
+use cellrel::workload::guidelines::{cross_isp_gap_sweep, density_sweep, idle_3g_offload_sweep};
 
 fn main() {
     // 1. "Carefully control BS deployment density in such areas."

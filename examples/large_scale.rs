@@ -1,21 +1,36 @@
-//! Large-scale streaming study: run a fleet one order of magnitude beyond
+//! Large-scale parallel study: run a fleet one order of magnitude beyond
 //! what the materialised API comfortably holds, in bounded memory, by
-//! streaming events into online aggregators.
+//! streaming events into mergeable online aggregators — one per shard,
+//! folded at the end. Output is bit-identical at any thread count.
 //!
 //! ```sh
-//! cargo run --release --example large_scale [devices]   # default 200,000
+//! cargo run --release --example large_scale [devices] [--threads N]
+//! # default 200,000 devices; threads default to CELLREL_THREADS or
+//! # the machine's available parallelism
 //! ```
 
-use cellrel::sim::Summary;
+use cellrel::analysis::streaming::FleetAccumulator;
+use cellrel::sim::resolve_threads;
 use cellrel::types::FailureKind;
-use cellrel::workload::{run_macro_study_streaming, PopulationConfig, StudyConfig};
+use cellrel::workload::{run_macro_study_parallel, PopulationConfig, StudyConfig};
 use std::time::Instant;
 
 fn main() {
-    let devices: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(200_000);
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut devices = 200_000usize;
+    let mut threads = 0usize;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--threads" {
+            threads = it
+                .next()
+                .and_then(|s| s.parse().ok())
+                .expect("--threads needs a number");
+        } else if let Ok(n) = a.parse() {
+            devices = n;
+        }
+    }
+    let threads = resolve_threads(threads);
     let cfg = StudyConfig {
         population: PopulationConfig {
             devices,
@@ -26,34 +41,25 @@ fn main() {
         ..Default::default()
     };
 
-    eprintln!("streaming {} devices over {} days ...", devices, cfg.days);
+    eprintln!(
+        "streaming {} devices over {} days on {} thread(s) ...",
+        devices, cfg.days, threads
+    );
     let t0 = Instant::now();
-
-    let mut durations = Summary::new();
-    let mut kind_counts = [0u64; 5];
-    let mut kind_duration = [0f64; 5];
-    let mut under_30 = 0u64;
-    let (population, per_device, _bs) = run_macro_study_streaming(&cfg, |e| {
-        let secs = e.duration.as_secs_f64();
-        durations.push(secs);
-        kind_counts[e.kind.index()] += 1;
-        kind_duration[e.kind.index()] += secs;
-        if secs < 30.0 {
-            under_30 += 1;
-        }
-    });
+    let (population, per_device, _bs, acc) =
+        run_macro_study_parallel(&cfg, threads, FleetAccumulator::new);
     let elapsed = t0.elapsed();
 
-    let total = durations.count();
+    let total = acc.total;
     let failing = per_device.iter().filter(|&&c| c > 0).count();
-    let total_duration: f64 = kind_duration.iter().sum();
 
     println!(
-        "generated {} failures for {} devices in {:.1} s ({:.0} events/s)",
+        "generated {} failures for {} devices in {:.1} s ({:.0} events/s, {} threads)",
         total,
         population.len(),
         elapsed.as_secs_f64(),
-        total as f64 / elapsed.as_secs_f64().max(1e-9)
+        total as f64 / elapsed.as_secs_f64().max(1e-9),
+        threads
     );
     println!(
         "prevalence {:.1}% (paper 23%) | frequency {:.1} (paper 33)",
@@ -62,13 +68,13 @@ fn main() {
     );
     println!(
         "mean duration {:.0} s (paper 188 s) | <30 s {:.1}% (paper 70.8%) | max {:.0} s",
-        durations.mean(),
-        under_30 as f64 / total as f64 * 100.0,
-        durations.max()
+        acc.mean_duration_secs(),
+        acc.under_30s_share() * 100.0,
+        acc.max_duration_ms as f64 / 1000.0
     );
     println!(
         "Data_Stall: {:.1}% of failures, {:.1}% of duration (paper ~40% / 94%)",
-        kind_counts[FailureKind::DataStall.index()] as f64 / total as f64 * 100.0,
-        kind_duration[FailureKind::DataStall.index()] / total_duration * 100.0
+        acc.kind_share(FailureKind::DataStall) * 100.0,
+        acc.kind_duration_share(FailureKind::DataStall) * 100.0
     );
 }

@@ -11,10 +11,7 @@ use cellrel::workload::{run_rat_policy_ab, AbConfig};
 
 fn main() {
     let mut args = std::env::args().skip(1);
-    let devices: usize = args
-        .next()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(30);
+    let devices: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(30);
     let days: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(3);
 
     let cfg = AbConfig {
@@ -23,6 +20,7 @@ fn main() {
         seed: 2021,
         stall_rate_per_hour: 1.5,
         suppress_user_reset: false,
+        threads: 0,
     };
     println!(
         "RAT-policy A/B: {} 5G phones per arm, {} simulated days each\n",

@@ -16,7 +16,9 @@ use cellrel::workload::durations::sample_auto_heal_secs;
 fn main() {
     // 1. "Measure" stall auto-recovery durations (the Fig. 10 distribution).
     let mut rng = SimRng::new(7);
-    let samples: Vec<f64> = (0..50_000).map(|_| sample_auto_heal_secs(&mut rng)).collect();
+    let samples: Vec<f64> = (0..50_000)
+        .map(|_| sample_auto_heal_secs(&mut rng))
+        .collect();
     let within_10 = samples.iter().filter(|&&d| d <= 10.0).count() as f64 / samples.len() as f64;
     println!(
         "fitted from {} stall durations; P(auto-heal ≤ 10 s) = {:.0}% (paper: 60%)",

@@ -17,6 +17,7 @@ fn stability_compatible_policy_reduces_failures_on_5g_phones() {
         seed: 31,
         stall_rate_per_hour: 2.0,
         suppress_user_reset: false,
+        threads: 0,
     };
     let (vanilla, patched) = run_rat_policy_ab(&cfg);
     let cmp = compare_rat_policy(vanilla, patched);
@@ -36,6 +37,7 @@ fn timp_recovery_reduces_stall_durations() {
         seed: 32,
         stall_rate_per_hour: 4.0,
         suppress_user_reset: true,
+        threads: 0,
     };
     let (vanilla, timp) = run_recovery_ab(&cfg);
     let cmp = compare_recovery(vanilla, timp);
@@ -52,7 +54,9 @@ fn timp_recovery_reduces_stall_durations() {
 fn timp_chain_produces_sub_minute_probations() {
     // duration samples → model fit → annealing → probation triple.
     let mut rng = SimRng::new(33);
-    let samples: Vec<f64> = (0..20_000).map(|_| sample_auto_heal_secs(&mut rng)).collect();
+    let samples: Vec<f64> = (0..20_000)
+        .map(|_| sample_auto_heal_secs(&mut rng))
+        .collect();
     let recovery = RecoveryConfig::vanilla();
     let model = TimpModel::from_durations(
         &samples,
@@ -77,6 +81,7 @@ fn paired_arms_share_world_conditions() {
         seed: 34,
         stall_rate_per_hour: 2.0,
         suppress_user_reset: false,
+        threads: 0,
     };
     let (v1, _) = run_rat_policy_ab(&cfg);
     let (v2, _) = run_rat_policy_ab(&cfg);

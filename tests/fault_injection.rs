@@ -7,8 +7,8 @@ use cellrel::monitor::MonitoringService;
 use cellrel::radio::{DeploymentConfig, EmmStateMachine, RadioEnvironment, RiskFactors};
 use cellrel::sim::{EventQueue, SimRng};
 use cellrel::telephony::{
-    DcTracker, DeviceConfig, DeviceSim, RatPolicyKind, RecordingBoth, RecoveryConfig,
-    RetryPolicy, TelephonyEvent,
+    DcTracker, DeviceConfig, DeviceSim, RatPolicyKind, RecordingBoth, RecoveryConfig, RetryPolicy,
+    TelephonyEvent,
 };
 use cellrel::types::{Apn, DataFailCause, DeviceId, Isp, Rat, RatSet, SimTime};
 
@@ -49,7 +49,10 @@ fn forced_cause_flows_from_modem_to_monitor_records() {
         panic!("forced permanent cause must give up, got {verdict:?}");
     }
     assert_eq!(monitor.records().len(), 1);
-    assert_eq!(monitor.records()[0].cause, Some(DataFailCause::ForbiddenPlmn));
+    assert_eq!(
+        monitor.records()[0].cause,
+        Some(DataFailCause::ForbiddenPlmn)
+    );
 }
 
 #[test]
@@ -78,9 +81,7 @@ fn ineffective_early_stages_reach_radio_restart() {
     let log = &dev.listener().log;
     let stage3 = log
         .iter()
-        .filter(|(_, e)| {
-            matches!(e, TelephonyEvent::RecoveryActionExecuted { stage: 3, .. })
-        })
+        .filter(|(_, e)| matches!(e, TelephonyEvent::RecoveryActionExecuted { stage: 3, .. }))
         .count();
     assert!(stage3 > 0, "no stage-3 recovery events observed");
 }
@@ -171,6 +172,8 @@ fn fp_only_world_records_nothing_but_counts_everything() {
     );
     use cellrel::types::FalsePositiveClass;
     let fp_stalls = monitor.fp_counters().get(FalsePositiveClass::SystemSide)
-        + monitor.fp_counters().get(FalsePositiveClass::DnsServiceDown);
+        + monitor
+            .fp_counters()
+            .get(FalsePositiveClass::DnsServiceDown);
     assert!(fp_stalls > 0, "the FP classes must be counted");
 }

@@ -48,15 +48,17 @@ fn fleet_summary_has_macro_structure() {
         s.prevalence
     );
     // Data-connection kinds dominate (the >99 % property).
-    let major: u64 = FailureKind::MAJOR.iter().map(|k| s.by_kind[k.index()]).sum();
+    let major: u64 = FailureKind::MAJOR
+        .iter()
+        .map(|k| s.by_kind[k.index()])
+        .sum();
     assert!(
         major as f64 / s.failures as f64 > 0.9,
         "major kinds {major}/{} failures",
         s.failures
     );
     // Stalls carry a disproportionate share of duration.
-    let stall_count_share =
-        s.by_kind[FailureKind::DataStall.index()] as f64 / s.failures as f64;
+    let stall_count_share = s.by_kind[FailureKind::DataStall.index()] as f64 / s.failures as f64;
     assert!(
         s.stall_duration_share > stall_count_share,
         "stall duration share {} vs count share {}",

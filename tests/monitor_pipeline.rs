@@ -116,7 +116,8 @@ fn monitor_overhead_stays_reasonable() {
 fn uploads_drain_the_queue() {
     let mut run = run_monitored_device(6, 24, 0.1);
     let pending_before = run.monitor.uploader().pending_records();
-    run.monitor.upload_opportunity(SimTime::from_secs(90_000), true);
+    run.monitor
+        .upload_opportunity(SimTime::from_secs(90_000), true);
     if pending_before > 0 {
         assert_eq!(run.monitor.uploader().pending_records(), 0);
         assert!(run.monitor.uploader().uploaded_records() >= pending_before);

@@ -1,0 +1,98 @@
+//! Thread-count invariance of the parallel fleet drivers.
+//!
+//! The headline guarantee of the `par` + substream design: the sharded
+//! macro study and the micro A/B arms produce **byte-identical** output at
+//! any thread count, because every device draws from a substream derived
+//! from `(root_seed, device_id)` alone and shard partials merge in shard
+//! order.
+
+use cellrel::analysis::streaming::FleetAccumulator;
+use cellrel::telephony::RatPolicyKind;
+use cellrel::types::FailureEvent;
+use cellrel::workload::{
+    ab, run_macro_study_parallel, run_macro_study_streaming, AbConfig, PopulationConfig,
+    StudyConfig,
+};
+
+fn small_cfg() -> StudyConfig {
+    StudyConfig {
+        population: PopulationConfig {
+            devices: 2_000,
+            ..Default::default()
+        },
+        bs_count: 1_500,
+        seed: 424_242,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn macro_study_events_are_identical_across_thread_counts() {
+    let cfg = small_cfg();
+    let (_, base_counts, _, base_events) =
+        run_macro_study_parallel::<Vec<FailureEvent>, _>(&cfg, 1, Vec::new);
+    assert!(!base_events.is_empty());
+    for threads in [2usize, 8] {
+        let (_, counts, _, events) = run_macro_study_parallel(&cfg, threads, Vec::new);
+        assert_eq!(counts, base_counts, "per-device counts, threads={threads}");
+        assert_eq!(events, base_events, "event stream, threads={threads}");
+    }
+}
+
+#[test]
+fn macro_study_parallel_matches_sequential_streaming() {
+    let cfg = small_cfg();
+    let mut seq_events = Vec::new();
+    let (_, seq_counts, _) = run_macro_study_streaming(&cfg, |e| seq_events.push(*e));
+    let (_, par_counts, _, par_events) = run_macro_study_parallel(&cfg, 8, Vec::new);
+    assert_eq!(par_counts, seq_counts);
+    assert_eq!(par_events, seq_events);
+}
+
+#[test]
+fn fleet_accumulator_sums_are_identical_across_thread_counts() {
+    let cfg = small_cfg();
+    let (_, _, _, base) = run_macro_study_parallel(&cfg, 1, FleetAccumulator::new);
+    assert!(base.total > 0);
+    for threads in [2usize, 8] {
+        let (_, _, _, acc) = run_macro_study_parallel(&cfg, threads, FleetAccumulator::new);
+        assert_eq!(acc.total, base.total, "threads={threads}");
+        assert_eq!(acc.by_kind, base.by_kind, "threads={threads}");
+        assert_eq!(acc.by_isp, base.by_isp, "threads={threads}");
+        assert_eq!(acc.by_rat, base.by_rat, "threads={threads}");
+        assert_eq!(
+            acc.duration_ms_total, base.duration_ms_total,
+            "duration sum, threads={threads}"
+        );
+        assert_eq!(acc.oos_devices, base.oos_devices, "threads={threads}");
+    }
+}
+
+#[test]
+fn ab_arm_is_identical_across_thread_counts() {
+    let base_cfg = AbConfig {
+        devices: 6,
+        days: 1,
+        seed: 31,
+        stall_rate_per_hour: 3.0,
+        suppress_user_reset: false,
+        threads: 1,
+    };
+    let base = ab::run_custom_arm(RatPolicyKind::Android10, &base_cfg);
+    assert!(base.frequency > 0.0);
+    for threads in [2usize, 8] {
+        let cfg = AbConfig {
+            threads,
+            ..base_cfg
+        };
+        let o = ab::run_custom_arm(RatPolicyKind::Android10, &cfg);
+        assert_eq!(o.by_kind, base.by_kind, "threads={threads}");
+        assert_eq!(o.stall_durations, base.stall_durations, "threads={threads}");
+        assert_eq!(
+            o.total_duration_secs, base.total_duration_secs,
+            "threads={threads}"
+        );
+        assert_eq!(o.prevalence, base.prevalence, "threads={threads}");
+        assert_eq!(o.frequency, base.frequency, "threads={threads}");
+    }
+}

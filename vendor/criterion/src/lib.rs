@@ -1,0 +1,164 @@
+//! Offline vendored stand-in for the `criterion` benchmark harness.
+//!
+//! Implements the subset the cellrel benches use: `Criterion::default()`
+//! with `sample_size`/`measurement_time` builders, `bench_function` with a
+//! [`Bencher`] whose `iter` times the closure, and the
+//! `criterion_group!` / `criterion_main!` macros (both the positional and
+//! the `name = …; config = …; targets = …` forms).
+//!
+//! Reporting is a single line per benchmark — mean wall-clock time per
+//! iteration and iterations/s — printed to stdout. There is no statistical
+//! analysis, HTML report, or baseline comparison.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// The benchmark driver.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            measurement_time: Duration::from_secs(3),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed iterations per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Upper bound on total measurement wall-clock per benchmark.
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Time one benchmark closure.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            budget_iters: self.sample_size as u64,
+            budget_time: self.measurement_time,
+            elapsed: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut b);
+        if b.iters == 0 {
+            println!("{id:<44} (no iterations run)");
+        } else {
+            let per_iter = b.elapsed.as_secs_f64() / b.iters as f64;
+            println!(
+                "{id:<44} {:>12.3} ms/iter {:>14.1} iter/s ({} iters)",
+                per_iter * 1e3,
+                1.0 / per_iter.max(1e-12),
+                b.iters
+            );
+        }
+        self
+    }
+}
+
+/// Times a closure under an iteration and wall-clock budget.
+#[derive(Debug)]
+pub struct Bencher {
+    budget_iters: u64,
+    budget_time: Duration,
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Run `f` repeatedly, timing each call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // One untimed warm-up call.
+        black_box(f());
+        let start = Instant::now();
+        for _ in 0..self.budget_iters {
+            black_box(f());
+            self.iters += 1;
+            if start.elapsed() > self.budget_time {
+                break;
+            }
+        }
+        self.elapsed += start.elapsed();
+    }
+}
+
+/// Group benchmark functions under one runnable entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trivial(c: &mut Criterion) {
+        c.bench_function("trivial_add", |b| b.iter(|| black_box(1u64) + 1));
+    }
+
+    criterion_group!(
+        name = group_with_config;
+        config = Criterion::default().sample_size(5);
+        targets = trivial
+    );
+
+    criterion_group!(plain_group, trivial);
+
+    #[test]
+    fn groups_run() {
+        group_with_config();
+        plain_group();
+    }
+
+    #[test]
+    fn bencher_counts_iterations() {
+        let mut c = Criterion::default().sample_size(7);
+        let mut calls = 0u64;
+        c.bench_function("count", |b| {
+            b.iter(|| {
+                calls += 1;
+            })
+        });
+        // 7 timed + 1 warm-up.
+        assert_eq!(calls, 8);
+    }
+}
