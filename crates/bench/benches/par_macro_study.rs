@@ -8,6 +8,9 @@
 //! bench asserts the event totals agree), so the only thing varying here
 //! is wall-clock.
 
+// Wall-clock is the measurement itself in this bench (speedup vs threads).
+#![allow(clippy::disallowed_types)]
+
 use cellrel::analysis::streaming::FleetAccumulator;
 use cellrel::sim::auto_threads;
 use cellrel::workload::{run_macro_study_parallel, PopulationConfig, StudyConfig};

@@ -1,0 +1,137 @@
+//! `chaos` — run a deterministic fault campaign with cross-stack invariant
+//! checking, or replay one scenario from a violation report.
+//!
+//! ```sh
+//! cargo run --release -p cellrel-bench --bin chaos -- --scenarios 256
+//! cargo run --release -p cellrel-bench --bin chaos -- --replay 41
+//! cargo run --release -p cellrel-bench --bin chaos -- --scenarios 64 \
+//!     --threads 2 --fail-on-violation --csv out/
+//! ```
+//!
+//! Flags: `--scenarios N` (default 256), `--seed S` (default 2021),
+//! `--threads N` (0 = auto), `--hours H` (fault horizon, default 6),
+//! `--replay ID` (run one scenario and print its violations),
+//! `--csv DIR` (write summary + violations CSV into DIR),
+//! `--fail-on-violation` (exit 1 if any invariant fails).
+//!
+//! The final `digest: <hex>` line is the campaign's content digest: it is
+//! identical at any thread count and across re-runs — CI compares it to
+//! catch nondeterminism.
+
+use cellrel::analysis::export::{
+    campaign_coverage_table, campaign_summary_csv, campaign_summary_table, campaign_violations_csv,
+    campaign_violations_table,
+};
+use cellrel::types::SimDuration;
+use cellrel::workload::{replay_scenario, run_chaos_campaign, ChaosConfig, ChaosScenario};
+
+fn parse_flag<T: std::str::FromStr>(args: &mut Vec<String>, flag: &str) -> Option<T> {
+    let pos = args.iter().position(|a| a == flag)?;
+    let value = args
+        .get(pos + 1)
+        .unwrap_or_else(|| panic!("{flag} needs a value"))
+        .parse::<T>()
+        .unwrap_or_else(|_| panic!("{flag}: bad value"));
+    args.drain(pos..pos + 2);
+    Some(value)
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cfg = ChaosConfig::default();
+    if let Some(n) = parse_flag::<u64>(&mut args, "--scenarios") {
+        cfg.scenarios = n;
+    }
+    if let Some(s) = parse_flag::<u64>(&mut args, "--seed") {
+        cfg.root_seed = s;
+    }
+    if let Some(t) = parse_flag::<usize>(&mut args, "--threads") {
+        cfg.threads = t;
+    }
+    if let Some(h) = parse_flag::<u64>(&mut args, "--hours") {
+        cfg.horizon = SimDuration::from_hours(h);
+    }
+    let replay = parse_flag::<u64>(&mut args, "--replay");
+    let csv_dir = parse_flag::<String>(&mut args, "--csv");
+    let fail_on_violation = if let Some(pos) = args.iter().position(|a| a == "--fail-on-violation")
+    {
+        args.remove(pos);
+        true
+    } else {
+        false
+    };
+    assert!(args.is_empty(), "unrecognised arguments: {args:?}");
+
+    if let Some(id) = replay {
+        // Replay one scenario: same seed derivation as the campaign run,
+        // so the outcome (and any violation's event index) is identical.
+        let scenario = ChaosScenario::decode(id);
+        eprintln!(
+            "chaos: replaying scenario {id} (seed {}): {}",
+            cfg.root_seed,
+            scenario.describe()
+        );
+        let outcome = replay_scenario(&cfg, id);
+        println!(
+            "scenario {id}: {} events, {} violation(s)",
+            outcome.events,
+            outcome.violations.len()
+        );
+        for v in &outcome.violations {
+            println!("  {v}");
+        }
+        if fail_on_violation && !outcome.violations.is_empty() {
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    eprintln!(
+        "chaos: {} scenarios (grid {}), seed {}, horizon {} + grace {}, threads {}",
+        cfg.scenarios,
+        ChaosScenario::GRID,
+        cfg.root_seed,
+        cfg.horizon,
+        cfg.grace,
+        if cfg.threads == 0 {
+            "auto".to_string()
+        } else {
+            cfg.threads.to_string()
+        },
+    );
+    let report = run_chaos_campaign(&cfg);
+
+    print!("{}", campaign_summary_table(&report).render());
+    println!();
+    print!("{}", campaign_coverage_table(&report).render());
+    if !report.violations.is_empty() {
+        println!();
+        print!("{}", campaign_violations_table(&report).render());
+        println!();
+        println!(
+            "replay any violation with: chaos --seed {} --replay <scenario>",
+            cfg.root_seed
+        );
+    }
+
+    if let Some(dir) = csv_dir {
+        let dir = std::path::Path::new(&dir);
+        std::fs::create_dir_all(dir).expect("create csv dir");
+        std::fs::write(
+            dir.join("campaign_summary.csv"),
+            campaign_summary_csv(&report),
+        )
+        .expect("write summary csv");
+        std::fs::write(
+            dir.join("campaign_violations.csv"),
+            campaign_violations_csv(&report),
+        )
+        .expect("write violations csv");
+        eprintln!("chaos: CSV written to {}", dir.display());
+    }
+
+    println!("digest: {:016x}", report.digest());
+    if fail_on_violation && !report.violations.is_empty() {
+        std::process::exit(1);
+    }
+}

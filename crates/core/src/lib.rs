@@ -41,6 +41,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod report;
+
 pub use cellrel_analysis as analysis;
 pub use cellrel_modem as modem;
 pub use cellrel_monitor as monitor;

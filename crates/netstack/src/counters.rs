@@ -72,6 +72,17 @@ impl TcpAccounting {
         self.sent.len() > STALL_MIN_SENT && self.received.is_empty()
     }
 
+    /// `(sent, received)` within the window ending at `now`, without
+    /// mutating the queues — the read-only view campaign invariants use to
+    /// audit the stack without perturbing its pruning behaviour.
+    pub fn counts_in_window(&self, now: SimTime) -> (usize, usize) {
+        let cutoff = now.since(SimTime::ZERO).saturating_sub(STALL_WINDOW);
+        let cutoff = SimTime::ZERO + cutoff;
+        let sent = self.sent.iter().filter(|&&t| t >= cutoff).count();
+        let received = self.received.iter().filter(|&&t| t >= cutoff).count();
+        (sent, received)
+    }
+
     /// Reset all counters (connection cleanup does this).
     pub fn reset(&mut self) {
         self.sent.clear();
@@ -155,6 +166,23 @@ mod tests {
         tcp.reset();
         assert!(!tcp.stall_detected(t));
         assert_eq!(tcp.sent_in_window(t), 0);
+    }
+
+    #[test]
+    fn counts_in_window_matches_mutating_queries() {
+        let mut tcp = TcpAccounting::new();
+        let t = SimTime::from_secs(10);
+        tcp.record_sent(t, 12);
+        tcp.record_received(t + SimDuration::from_secs(2), 3);
+        let later = t + SimDuration::from_secs(30);
+        assert_eq!(tcp.counts_in_window(later), (12, 3));
+        assert_eq!(tcp.sent_in_window(later), 12);
+        assert_eq!(tcp.received_in_window(later), 3);
+        // Past the window the read-only view agrees it all expired — and
+        // must not have pruned anything itself.
+        let expired = t + SimDuration::from_secs(120);
+        assert_eq!(tcp.counts_in_window(expired), (0, 0));
+        assert_eq!(tcp.counts_in_window(later), (12, 3));
     }
 
     #[test]

@@ -24,7 +24,7 @@ pub mod link;
 pub mod probe;
 pub mod stack;
 
-pub use counters::TcpAccounting;
+pub use counters::{TcpAccounting, STALL_MIN_SENT, STALL_WINDOW};
 pub use link::LinkCondition;
 pub use probe::{run_probe, ProbeOutcome, ProbeVerdict};
 pub use stack::NetStack;

@@ -62,6 +62,12 @@ impl NetStack {
         self.tcp.stall_detected(now)
     }
 
+    /// `(sent, received)` within the window ending at `now`, without
+    /// mutating the accounting (campaign invariants audit through this).
+    pub fn counts_in_window(&self, now: SimTime) -> (usize, usize) {
+        self.tcp.counts_in_window(now)
+    }
+
     /// Run one probing round with the given timeouts.
     pub fn probe(
         &self,

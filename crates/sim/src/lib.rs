@@ -26,12 +26,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod campaign;
 pub mod dist;
 pub mod par;
 pub mod queue;
 pub mod rng;
 pub mod stats;
 
+pub use campaign::{
+    run_campaign, CampaignReport, Digest64, Invariant, InvariantRegistry, ScenarioOutcome,
+    Violation,
+};
 pub use dist::{Empirical, LogNormalDist, ParetoDist, WeightedIndex, ZipfDist};
 pub use par::{
     auto_threads, merge_all, resolve_threads, run_sharded, run_sharded_merge, shard_ranges, Merge,

@@ -215,11 +215,16 @@ pub struct DeviceSim<'a, L: TelephonyListener> {
     stats: DeviceStats,
     stall: Option<StallEpisode>,
     probation_token: Option<EventToken>,
+    oos_heal_token: Option<EventToken>,
     serving_risk: Option<RiskFactors>,
     setup_pending: bool,
     sms: crate::sms::SmsService,
     voice: crate::sms::VoiceService,
     screen_active: bool,
+    /// While true (the default) the world keeps injecting faults. Campaign
+    /// drivers flip it off via [`DeviceSim::quiesce`] so a scenario can end
+    /// in a fault-free grace period.
+    injection_enabled: bool,
 }
 
 impl<'a, L: TelephonyListener> DeviceSim<'a, L> {
@@ -248,11 +253,13 @@ impl<'a, L: TelephonyListener> DeviceSim<'a, L> {
             stats: DeviceStats::default(),
             stall: None,
             probation_token: None,
+            oos_heal_token: None,
             serving_risk: None,
             setup_pending: false,
             sms: crate::sms::SmsService::new(),
             voice: crate::sms::VoiceService::new(),
             screen_active: true,
+            injection_enabled: true,
             cfg,
         };
         queue.schedule_at(SimTime::ZERO, WorldEvent::ScanAndSelect);
@@ -299,6 +306,80 @@ impl<'a, L: TelephonyListener> DeviceSim<'a, L> {
     /// The modem (tests).
     pub fn modem(&self) -> &Modem {
         &self.modem
+    }
+
+    /// The recovery engine (campaign invariants).
+    pub fn recovery(&self) -> &RecoveryEngine {
+        &self.recovery
+    }
+
+    /// The vanilla stall detector (campaign invariants).
+    pub fn detector(&self) -> &DataStallDetector {
+        &self.detector
+    }
+
+    /// The device's network stack (campaign invariants).
+    pub fn netstack(&self) -> &NetStack {
+        &self.stack
+    }
+
+    /// The service-state tracker (campaign invariants).
+    pub fn service_state(&self) -> &ServiceStateTracker {
+        &self.sst
+    }
+
+    /// The device's static configuration.
+    pub fn config(&self) -> &DeviceConfig {
+        &self.cfg
+    }
+
+    /// Stop the world from injecting further faults, and accelerate any
+    /// live fault so it heals *now* (through the ordinary heal events, so
+    /// listeners observe the regular clear sequence). After this, the
+    /// device must drain back to healthy service — [`Self::wedged_reason`]
+    /// checks that it did.
+    pub fn quiesce(&mut self, queue: &mut EventQueue<WorldEvent>) {
+        self.injection_enabled = false;
+        if let Some(ep) = &mut self.stall {
+            if let Some(tok) = ep.heal_token.take() {
+                queue.cancel(tok);
+            }
+            queue.schedule_at(queue.now(), WorldEvent::StallNaturalHeal);
+        }
+        if self.sst.in_outage() {
+            if let Some(tok) = self.oos_heal_token.take() {
+                queue.cancel(tok);
+            }
+            queue.schedule_at(queue.now(), WorldEvent::OosHeal);
+        }
+    }
+
+    /// After faults have cleared and the device has had time to drain, is
+    /// anything still wedged? `None` means fully recovered: healthy link,
+    /// no open stall episode, detector and recovery engine idle, in
+    /// service, and a data call either up or reachable through the retry
+    /// machinery. The campaign's "no device permanently wedged" invariant
+    /// is exactly this check at scenario end.
+    pub fn wedged_reason(&self) -> Option<String> {
+        if self.stack.link() != LinkCondition::Healthy {
+            return Some(format!("link still {:?}", self.stack.link()));
+        }
+        if let Some(ep) = &self.stall {
+            return Some(format!("stall episode still open (onset {:?})", ep.onset));
+        }
+        if self.detector.is_stalled() {
+            return Some("stall detector still latched".into());
+        }
+        if self.recovery.active() {
+            return Some("recovery engine still mid-episode".into());
+        }
+        if self.sst.state() != ServiceState::InService {
+            return Some(format!("service state {:?}", self.sst.state()));
+        }
+        if self.modem.call().is_none() && !self.setup_pending && !self.tracker.can_attempt() {
+            return Some("no data call and no retry path left".into());
+        }
+        None
     }
 
     fn emit(&mut self, at: SimTime, ev: TelephonyEvent) {
@@ -555,7 +636,7 @@ impl<'a, L: TelephonyListener> DeviceSim<'a, L> {
                 }
             }
             Some(false) => {
-                self.finish_stall(now);
+                self.finish_stall(now, queue);
             }
             None => {}
         }
@@ -565,7 +646,7 @@ impl<'a, L: TelephonyListener> DeviceSim<'a, L> {
     /// Close out the current stall episode (predicate fell). The reported
     /// duration is detection → heal — the span Android (and the monitor's
     /// probing) can observe; pre-detection time is invisible to the device.
-    fn finish_stall(&mut self, now: SimTime) {
+    fn finish_stall(&mut self, now: SimTime, queue: &mut EventQueue<WorldEvent>) {
         if let Some(ep) = self.stall.take() {
             if let Some(detected_at) = ep.detected_at {
                 debug_assert!(detected_at >= ep.onset, "detection precedes onset");
@@ -586,7 +667,18 @@ impl<'a, L: TelephonyListener> DeviceSim<'a, L> {
         if self.recovery.active() {
             self.recovery.stall_cleared();
         }
-        self.probation_token = None;
+        self.cancel_probation(queue);
+    }
+
+    /// Drop any pending probation timer *and its queued event*. Merely
+    /// forgetting the token would leave a stale `ProbationExpired` in the
+    /// queue, which could execute a recovery stage early in a later
+    /// episode — exactly the regression the campaign's probation invariant
+    /// watches for.
+    fn cancel_probation(&mut self, queue: &mut EventQueue<WorldEvent>) {
+        if let Some(tok) = self.probation_token.take() {
+            queue.cancel(tok);
+        }
     }
 
     fn handle_stall_inject(
@@ -595,6 +687,9 @@ impl<'a, L: TelephonyListener> DeviceSim<'a, L> {
         condition: LinkCondition,
         queue: &mut EventQueue<WorldEvent>,
     ) {
+        if !self.injection_enabled {
+            return; // quiesced: no new faults, and stop rescheduling
+        }
         // Only one condition at a time; re-injection while stalled just
         // reschedules the next injection.
         if self.stall.is_none() && self.modem.call().is_some() {
@@ -657,8 +752,9 @@ impl<'a, L: TelephonyListener> DeviceSim<'a, L> {
                 if self.recovery.active() {
                     self.recovery.stall_cleared();
                 }
+                self.cancel_probation(queue);
             } else {
-                self.finish_stall(now);
+                self.finish_stall(now, queue);
             }
         }
     }
@@ -700,7 +796,7 @@ impl<'a, L: TelephonyListener> DeviceSim<'a, L> {
         );
         if fixed {
             self.heal_link(now, queue);
-            self.finish_stall(now);
+            self.finish_stall(now, queue);
         } else if let Some(p) = next_probation {
             self.probation_token = Some(queue.schedule_after(p, WorldEvent::ProbationExpired));
         }
@@ -762,7 +858,7 @@ impl<'a, L: TelephonyListener> DeviceSim<'a, L> {
         self.detector.reset();
         if self.rng.chance(fix_prob) {
             self.heal_link(now, queue);
-            self.finish_stall(now);
+            self.finish_stall(now, queue);
         }
         self.request_setup(now, queue);
     }
@@ -875,6 +971,9 @@ impl<'a, L: TelephonyListener> DeviceSim<'a, L> {
     }
 
     fn handle_oos_inject(&mut self, now: SimTime, queue: &mut EventQueue<WorldEvent>) {
+        if !self.injection_enabled {
+            return; // quiesced: no new outages, and stop rescheduling
+        }
         if self.sst.state() == ServiceState::InService {
             self.stats.oos_episodes += 1;
             self.sst.update(now, ServiceState::OutOfService);
@@ -888,15 +987,16 @@ impl<'a, L: TelephonyListener> DeviceSim<'a, L> {
             } else {
                 self.rng.lognormal(4.2, 1.0) // median ~67 s
             };
-            queue.schedule_after(
+            self.oos_heal_token = Some(queue.schedule_after(
                 SimDuration::from_secs_f64(secs.max(2.0)),
                 WorldEvent::OosHeal,
-            );
+            ));
         }
         self.schedule_next_oos(queue);
     }
 
     fn handle_oos_heal(&mut self, now: SimTime) {
+        self.oos_heal_token = None;
         if let Some(d) = self.sst.update(now, ServiceState::InService) {
             let ctx = self.in_situ(None);
             self.emit(now, TelephonyEvent::OutOfServiceEnded { duration: d, ctx });

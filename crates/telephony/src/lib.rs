@@ -42,7 +42,7 @@ pub mod stall;
 pub use apn_manager::ApnManager;
 pub use data_connection::{DataConnectionFsm, DcState};
 pub use dc_tracker::{DcTracker, RetryPolicy};
-pub use device_sim::{DeviceConfig, DeviceSim, MobilityProfile, WorldEvent};
+pub use device_sim::{DeviceConfig, DeviceSim, DeviceStats, MobilityProfile, WorldEvent};
 pub use events::{
     NullListener, RecordingBoth, RecordingListener, TelephonyEvent, TelephonyListener,
 };

@@ -380,6 +380,94 @@ mod tests {
     }
 
     #[test]
+    fn custom_probation_triple_escalates_in_order() {
+        // The probation returned at each step must be the *configured* value
+        // for the stage about to wait, in order — an asymmetric triple makes
+        // any off-by-one in the indexing visible.
+        let mut cfg = RecoveryConfig::with_probations([5, 7, 9]);
+        cfg.op_success = [0.0, 0.0, 0.0];
+        let mut eng = RecoveryEngine::new(cfg);
+        let mut rng = SimRng::new(11);
+
+        assert_eq!(eng.begin(SimTime::ZERO), SimDuration::from_secs(5));
+        assert_eq!(eng.next_action(), Some(RecoveryAction::CleanupConnections));
+
+        let (a, fixed, next) = eng.probation_expired(true, &mut rng);
+        assert_eq!((a.stage(), fixed), (1, false));
+        assert_eq!(next, Some(SimDuration::from_secs(7)));
+        assert_eq!(eng.next_action(), Some(RecoveryAction::Reregister));
+
+        let (a, fixed, next) = eng.probation_expired(true, &mut rng);
+        assert_eq!((a.stage(), fixed), (2, false));
+        assert_eq!(next, Some(SimDuration::from_secs(9)));
+        assert_eq!(eng.next_action(), Some(RecoveryAction::RadioRestart));
+
+        let (a, fixed, next) = eng.probation_expired(true, &mut rng);
+        assert_eq!((a.stage(), fixed), (3, false));
+        assert_eq!(next, None);
+        assert!(eng.exhausted());
+        assert_eq!(eng.next_action(), None);
+        assert_eq!(eng.next_op_cost(), None);
+    }
+
+    #[test]
+    fn mid_episode_success_resets_to_idle_and_restarts_at_stage_one() {
+        // Fail stage 1, succeed at stage 2; the next episode must start
+        // over at stage 1 with the first probation, not resume at stage 3.
+        let mut cfg = RecoveryConfig::with_probations([5, 7, 9]);
+        cfg.op_success = [0.0, 1.0, 1.0];
+        let mut eng = RecoveryEngine::new(cfg);
+        let mut rng = SimRng::new(12);
+
+        eng.begin(SimTime::ZERO);
+        let (_, fixed, _) = eng.probation_expired(true, &mut rng);
+        assert!(!fixed);
+        let (a, fixed, next) = eng.probation_expired(true, &mut rng);
+        assert_eq!(a, RecoveryAction::Reregister);
+        assert!(fixed);
+        assert_eq!(next, None);
+        assert!(!eng.active());
+        assert!(!eng.exhausted());
+
+        assert_eq!(
+            eng.begin(SimTime::from_secs(500)),
+            SimDuration::from_secs(5)
+        );
+        assert_eq!(eng.next_action(), Some(RecoveryAction::CleanupConnections));
+        assert_eq!(eng.actions_executed(), 2, "counter spans episodes");
+    }
+
+    #[test]
+    fn exhaustion_then_clear_resets_the_ladder() {
+        // After all three stages fail, the stall eventually clears (or the
+        // user resets); stall_cleared() must take the engine out of
+        // Exhausted so a fresh episode begins back at stage 1.
+        let mut cfg = RecoveryConfig::vanilla();
+        cfg.op_success = [0.0, 0.0, 0.0];
+        let mut eng = RecoveryEngine::new(cfg);
+        let mut rng = SimRng::new(13);
+
+        eng.begin(SimTime::ZERO);
+        for _ in 0..3 {
+            eng.probation_expired(true, &mut rng);
+        }
+        assert!(eng.exhausted());
+        assert!(eng.active(), "exhausted still counts as an open episode");
+
+        eng.stall_cleared();
+        assert!(!eng.active());
+        assert!(!eng.exhausted());
+
+        assert_eq!(
+            eng.begin(SimTime::from_secs(900)),
+            SimDuration::from_secs(60)
+        );
+        let (a, _, _) = eng.probation_expired(true, &mut rng);
+        assert_eq!(a, RecoveryAction::CleanupConnections);
+        assert_eq!(eng.actions_executed(), 4);
+    }
+
+    #[test]
     fn stage_one_effectiveness_is_about_75_percent() {
         let mut eng = RecoveryEngine::new(RecoveryConfig::vanilla());
         let mut rng = SimRng::new(4);

@@ -22,6 +22,7 @@
 
 pub mod ab;
 pub mod bs_assign;
+pub mod chaos;
 pub mod durations;
 pub mod exposure;
 pub mod guidelines;
@@ -31,6 +32,10 @@ pub mod study;
 
 pub use ab::{run_rat_policy_ab, run_recovery_ab, AbArm, AbConfig, AbOutcome};
 pub use bs_assign::BsAssigner;
+pub use chaos::{
+    default_registry, replay_scenario, run_chaos_campaign, run_scenario, run_scenario_with,
+    ChaosConfig, ChaosScenario, StepView,
+};
 pub use models::{PhoneModelSpec, MODELS};
 pub use population::{DeviceProfile, Population, PopulationConfig};
 pub use study::{

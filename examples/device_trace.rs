@@ -3,108 +3,13 @@
 //! stalls, the three-stage recovery — and print the telephony event log the
 //! way Android-MOD sees it, followed by the monitor's filtered dataset.
 //!
+//! The report itself lives in `cellrel::report::device_trace_report` so the
+//! golden-trace test (`tests/golden_trace.rs`) can pin it byte-for-byte.
+//!
 //! ```sh
 //! cargo run --release --example device_trace
 //! ```
 
-use cellrel::monitor::MonitoringService;
-use cellrel::radio::{DeploymentConfig, RadioEnvironment};
-use cellrel::sim::{EventQueue, SimRng};
-use cellrel::telephony::{DeviceConfig, DeviceSim, RatPolicyKind, RecordingBoth, TelephonyEvent};
-use cellrel::types::{DeviceId, Isp, Rat, RatSet, SimTime};
-
 fn main() {
-    let mut rng = SimRng::new(2021);
-    let env = RadioEnvironment::generate(DeploymentConfig::small(), &mut rng);
-
-    // A 5G phone living near (but not at) a city centre, with an elevated
-    // stall hazard so a day-long run shows interesting behaviour. Note how
-    // many injected stalls never reach the 1-minute vanilla detector: the
-    // user's ~30 s patience fires first (exactly the §3.2 finding).
-    let mut cfg = DeviceConfig::new(DeviceId(0), Isp::A, env.city_centers()[0]);
-    cfg.home = cfg.home.offset(3.0, 1.0);
-    cfg.rats = RatSet::up_to(Rat::G5);
-    cfg.policy = RatPolicyKind::Android10;
-    cfg.stall_rate_per_hour = 4.0;
-
-    let listener = RecordingBoth::new(MonitoringService::new(DeviceId(0), rng.fork(1)));
-    let mut queue = EventQueue::new();
-    let mut dev = DeviceSim::new(cfg, &env, listener, rng.fork(2), &mut queue);
-    let horizon = SimTime::from_secs(24 * 3600);
-    queue.run_until(&mut dev, horizon);
-
-    let stats = *dev.stats();
-    let listener = dev.into_listener();
-
-    println!("== raw telephony event log (first 40 events) ==");
-    for (at, ev) in listener.log.iter().take(40) {
-        println!("[{at}] {}", describe(ev));
-    }
-    println!("... {} events total\n", listener.log.len());
-
-    println!("== device counters ==\n{stats:#?}\n");
-
-    let monitor = listener.inner;
-    println!("== Android-MOD view ==");
-    println!(
-        "events seen: {}, true failures recorded: {}, false positives filtered: {}",
-        monitor.events_seen(),
-        monitor.records().len(),
-        monitor.fp_counters().total()
-    );
-    for rec in monitor.records().iter().take(15) {
-        println!(
-            "  [{}] {} dur={} rat={} level={} cause={}",
-            rec.start,
-            rec.kind,
-            rec.duration,
-            rec.ctx.rat,
-            rec.ctx.signal,
-            rec.cause
-                .map(|c| c.to_string())
-                .unwrap_or_else(|| "-".into())
-        );
-    }
-    println!(
-        "\noverhead: cpu {:.2}% of failure windows, mem {} B, storage {} B, network {} B",
-        monitor.overhead().cpu_utilization() * 100.0,
-        monitor.overhead().peak_memory_bytes(),
-        monitor.overhead().storage_bytes(),
-        monitor.overhead().network_bytes()
-    );
-}
-
-fn describe(ev: &TelephonyEvent) -> String {
-    match ev {
-        TelephonyEvent::DataSetupError { cause, ctx } => {
-            format!(
-                "Data_Setup_Error cause={cause} ({} {})",
-                ctx.rat, ctx.signal
-            )
-        }
-        TelephonyEvent::DataSetupSuccess { ctx } => {
-            format!("data call up ({} {})", ctx.rat, ctx.signal)
-        }
-        TelephonyEvent::DataStallSuspected { condition, .. } => {
-            format!("Data_Stall suspected (condition: {condition})")
-        }
-        TelephonyEvent::DataStallCleared { duration, .. } => {
-            format!("Data_Stall cleared after {duration}")
-        }
-        TelephonyEvent::RecoveryActionExecuted { stage, fixed } => {
-            format!("recovery stage {stage} executed (fixed: {fixed})")
-        }
-        TelephonyEvent::OutOfServiceBegan { .. } => "Out_of_Service began".into(),
-        TelephonyEvent::OutOfServiceEnded { duration, .. } => {
-            format!("Out_of_Service ended after {duration}")
-        }
-        TelephonyEvent::RatChanged { from, to } => match from {
-            Some(f) => format!("RAT {f} -> {to}"),
-            None => format!("camped on {to}"),
-        },
-        TelephonyEvent::ManualReset => "user reset data connection".into(),
-        TelephonyEvent::VoiceCallInterruption => "voice call interrupted data".into(),
-        TelephonyEvent::SmsSendFailed => "SMS send failed".into(),
-        TelephonyEvent::VoiceSetupFailed => "voice call setup failed".into(),
-    }
+    print!("{}", cellrel::report::device_trace_report(2021));
 }

@@ -1,0 +1,63 @@
+//! Golden-trace snapshot: the `device_trace` example's output at seed 2021,
+//! pinned byte-for-byte.
+//!
+//! Any change to event ordering, RNG stream consumption, timer scheduling,
+//! or report formatting anywhere in the stack surfaces here as a readable
+//! diff instead of a silent behaviour shift. When a change is *intentional*,
+//! regenerate the snapshot and review the diff like any other code change:
+//!
+//! ```sh
+//! CELLREL_BLESS=1 cargo test -q --test golden_trace
+//! git diff tests/golden/device_trace_seed2021.txt
+//! ```
+
+use std::path::PathBuf;
+
+const SEED: u64 = 2021;
+
+fn golden_path() -> PathBuf {
+    // CARGO_MANIFEST_DIR is crates/core (the facade owns the root tests/).
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden/device_trace_seed2021.txt")
+}
+
+#[test]
+fn device_trace_matches_golden_snapshot() {
+    let actual = cellrel::report::device_trace_report(SEED);
+    let path = golden_path();
+
+    if std::env::var_os("CELLREL_BLESS").is_some() {
+        std::fs::write(&path, &actual).expect("write golden snapshot");
+        eprintln!("blessed {}", path.display());
+        return;
+    }
+
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden snapshot {} ({e}); generate it with \
+             CELLREL_BLESS=1 cargo test -q --test golden_trace",
+            path.display()
+        )
+    });
+    if actual != expected {
+        // Locate the first differing line so the failure is readable without
+        // dumping two multi-kilobyte strings.
+        let mismatch = actual
+            .lines()
+            .zip(expected.lines())
+            .enumerate()
+            .find(|(_, (a, e))| a != e);
+        match mismatch {
+            Some((i, (a, e))) => panic!(
+                "golden trace mismatch at line {}:\n  expected: {e}\n  actual:   {a}\n\
+                 if the change is intentional: CELLREL_BLESS=1 cargo test -q --test golden_trace",
+                i + 1
+            ),
+            None => panic!(
+                "golden trace length mismatch ({} vs {} lines); \
+                 if intentional: CELLREL_BLESS=1 cargo test -q --test golden_trace",
+                actual.lines().count(),
+                expected.lines().count()
+            ),
+        }
+    }
+}

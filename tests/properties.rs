@@ -1,7 +1,9 @@
 //! Property-based tests over the core data structures and invariants,
 //! spanning crates.
 
-use cellrel::netstack::{run_probe, LinkCondition, ProbeVerdict, TcpAccounting};
+use cellrel::netstack::{
+    run_probe, LinkCondition, ProbeVerdict, TcpAccounting, STALL_MIN_SENT, STALL_WINDOW,
+};
 use cellrel::sim::{percentile, Ecdf, EventQueue, SimRng, Summary};
 use cellrel::telephony::{RecoveryConfig, RecoveryEngine};
 use cellrel::timp::TimpModel;
@@ -187,6 +189,103 @@ proptest! {
         prop_assert!(t > 0.0);
         // Bounded by the horizon plus all op costs.
         prop_assert!(t <= model.t_max() + 102.0 + 1e-6);
+    }
+
+    #[test]
+    fn stall_threshold_is_strictly_more_than_ten(
+        base_ms in 0u64..10_000_000,
+    ) {
+        // "More than 10 outbound segments": exactly STALL_MIN_SENT is never
+        // enough, one more always trips it (with zero inbound), regardless
+        // of where in simulated time the burst lands.
+        let t = SimTime::from_millis(base_ms);
+        let mut tcp = TcpAccounting::new();
+        tcp.record_sent(t, STALL_MIN_SENT);
+        prop_assert!(!tcp.stall_detected(t));
+        tcp.record_sent(t, 1);
+        prop_assert!(tcp.stall_detected(t));
+    }
+
+    #[test]
+    fn inbound_at_the_window_edge_still_masks_the_stall(
+        base_s in 61u64..100_000,
+        sent in 11usize..40,
+    ) {
+        // The window is [now - 60 s, now]: pruning discards strictly-older
+        // timestamps, so an inbound segment exactly 60 s old still counts —
+        // and 1 ms older does not.
+        let now = SimTime::from_secs(base_s);
+        let edge = SimTime::from_millis(now.as_millis() - STALL_WINDOW.as_millis());
+
+        let mut tcp = TcpAccounting::new();
+        tcp.record_received(edge, 1);
+        tcp.record_sent(now, sent);
+        prop_assert!(!tcp.stall_detected(now), "rx at the edge is in-window");
+
+        let mut tcp = TcpAccounting::new();
+        tcp.record_received(SimTime::from_millis(edge.as_millis() - 1), 1);
+        tcp.record_sent(now, sent);
+        prop_assert!(tcp.stall_detected(now), "rx 1 ms past the edge expired");
+    }
+
+    #[test]
+    fn window_saturates_at_simulation_start(
+        now_ms in 0u64..60_000,
+        rx_ms in 0u64..60_000,
+        sent in 11usize..40,
+    ) {
+        // Before one full window has elapsed the cutoff saturates to t = 0:
+        // nothing is ever pruned, so any inbound segment masks the stall.
+        let now = SimTime::from_millis(now_ms.max(rx_ms));
+        let mut tcp = TcpAccounting::new();
+        tcp.record_received(SimTime::from_millis(rx_ms.min(now_ms)), 1);
+        tcp.record_sent(now, sent);
+        prop_assert!(!tcp.stall_detected(now));
+    }
+
+    #[test]
+    fn extreme_timestamps_never_wrap(
+        back_ms in 0u64..120_000,
+        sent in 11usize..40,
+    ) {
+        // Timestamps near the top of the u64 range: the cutoff arithmetic
+        // must saturate rather than wrap, and the predicate must behave
+        // exactly as it does mid-range.
+        let now = SimTime::MAX;
+        let t = SimTime::from_millis(u64::MAX - back_ms);
+        let mut tcp = TcpAccounting::new();
+        tcp.record_sent(t, sent);
+        let in_window = back_ms <= STALL_WINDOW.as_millis();
+        prop_assert_eq!(tcp.stall_detected(now), in_window);
+        let (s, r) = tcp.counts_in_window(now);
+        prop_assert_eq!(s, if in_window { sent } else { 0 });
+        prop_assert_eq!(r, 0);
+    }
+
+    #[test]
+    fn counts_in_window_agrees_with_the_predicate(
+        events in prop::collection::vec(
+            (0u64..200_000, any::<bool>(), 1usize..15),
+            1..60,
+        ),
+        probe_ms in 0u64..260_000,
+    ) {
+        // The read-only view the campaign invariants audit through must
+        // agree with the kernel's own mutating predicate at every instant.
+        let mut sorted = events;
+        sorted.sort_unstable_by_key(|&(t, _, _)| t);
+        let last = sorted.last().map(|&(t, _, _)| t).unwrap_or(0);
+        let now = SimTime::from_millis(last.max(probe_ms));
+        let mut tcp = TcpAccounting::new();
+        for &(t, inbound, n) in &sorted {
+            if inbound {
+                tcp.record_received(SimTime::from_millis(t), n);
+            } else {
+                tcp.record_sent(SimTime::from_millis(t), n);
+            }
+        }
+        let (s, r) = tcp.counts_in_window(now);
+        prop_assert_eq!(tcp.stall_detected(now), s > STALL_MIN_SENT && r == 0);
     }
 
     #[test]

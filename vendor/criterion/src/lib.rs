@@ -11,6 +11,9 @@
 //! analysis, HTML report, or baseline comparison.
 
 #![forbid(unsafe_code)]
+// A bench harness is exactly where wall-clock timing belongs; the rest of
+// the workspace is gated off std::time by clippy.toml's disallowed-types.
+#![allow(clippy::disallowed_types)]
 
 use std::time::{Duration, Instant};
 
