@@ -7,9 +7,13 @@
 //! materialising the event list — fleets of 10⁶+ devices run in constant
 //! memory. Because it implements [`Merge`], per-shard accumulators from
 //! [`cellrel_workload::run_macro_study_parallel`] fold into exactly the
-//! sequential result: every field is an integer counter, a set union, or a
-//! Welford summary merged in shard order.
+//! sequential result: every field is an integer counter, a set union, a
+//! Welford summary, or a bucket-count [`QuantileSketch`] merged in shard
+//! order. The sketches supply streaming duration percentiles (Fig. 4 and
+//! the per-kind CDm figures) within 1 % rank error of the exact order
+//! statistics, with bitwise thread-count-invariant state.
 
+use cellrel_ingest::QuantileSketch;
 use cellrel_sim::{Merge, Summary};
 use cellrel_types::{DeviceId, FailureEvent, FailureKind};
 use cellrel_workload::EventSink;
@@ -36,6 +40,11 @@ pub struct FleetAccumulator {
     pub max_duration_ms: u64,
     /// Welford moments of the duration distribution (seconds).
     pub duration: Summary,
+    /// Streaming quantile sketch over all failure durations (milliseconds)
+    /// — the Fig. 4 CDF without materialising the sample list.
+    pub duration_sketch: QuantileSketch,
+    /// Per-kind duration sketches (Figs. 6–7 inputs).
+    pub duration_sketch_by_kind: [QuantileSketch; 5],
     /// Devices that saw ≥1 Out_of_Service event.
     pub oos_devices: HashSet<DeviceId>,
 }
@@ -81,6 +90,21 @@ impl FleetAccumulator {
             self.under_30s as f64 / self.total as f64
         }
     }
+
+    /// Sketched duration quantile in seconds over all kinds (`None` when
+    /// empty). Within 1 % rank error of the exact order statistic.
+    pub fn duration_quantile_secs(&self, q: f64) -> Option<f64> {
+        self.duration_sketch
+            .quantile(q)
+            .map(|ms| ms as f64 / 1000.0)
+    }
+
+    /// Sketched duration quantile in seconds for one failure kind.
+    pub fn kind_duration_quantile_secs(&self, kind: FailureKind, q: f64) -> Option<f64> {
+        self.duration_sketch_by_kind[kind.index()]
+            .quantile(q)
+            .map(|ms| ms as f64 / 1000.0)
+    }
 }
 
 impl EventSink for FleetAccumulator {
@@ -97,6 +121,8 @@ impl EventSink for FleetAccumulator {
         }
         self.max_duration_ms = self.max_duration_ms.max(ms);
         self.duration.push(e.duration.as_secs_f64());
+        self.duration_sketch.push(ms);
+        self.duration_sketch_by_kind[e.kind.index()].push(ms);
         if e.kind == FailureKind::OutOfService {
             self.oos_devices.insert(e.device);
         }
@@ -114,6 +140,13 @@ impl Merge for FleetAccumulator {
         self.under_30s.merge(other.under_30s);
         self.max_duration_ms = self.max_duration_ms.max(other.max_duration_ms);
         self.duration.merge(&other.duration);
+        self.duration_sketch.merge(other.duration_sketch);
+        let [a, b, c, d, e] = other.duration_sketch_by_kind;
+        self.duration_sketch_by_kind[0].merge(a);
+        self.duration_sketch_by_kind[1].merge(b);
+        self.duration_sketch_by_kind[2].merge(c);
+        self.duration_sketch_by_kind[3].merge(d);
+        self.duration_sketch_by_kind[4].merge(e);
         self.oos_devices.merge(other.oos_devices);
     }
 }
@@ -163,6 +196,63 @@ mod tests {
                 "threads={threads}"
             );
             assert_eq!(acc.oos_devices, base.oos_devices, "threads={threads}");
+            // Sketch merges are exactly commutative/associative, so the
+            // sketch state is bitwise thread-count invariant too.
+            assert_eq!(
+                acc.duration_sketch, base.duration_sketch,
+                "threads={threads}"
+            );
+            assert_eq!(
+                acc.duration_sketch_by_kind, base.duration_sketch_by_kind,
+                "threads={threads}"
+            );
         }
+    }
+
+    #[test]
+    fn sketched_percentiles_within_one_percent_rank_of_exact() {
+        use cellrel_workload::{run_macro_study_streaming, PopulationConfig};
+        // The fixed acceptance fleet: 10 k devices, seed 2021.
+        let cfg = StudyConfig {
+            population: PopulationConfig {
+                devices: 10_000,
+                ..Default::default()
+            },
+            days: 30,
+            bs_count: 2_000,
+            seed: 2021,
+        };
+        let mut acc = FleetAccumulator::new();
+        let mut exact: Vec<u64> = Vec::new();
+        run_macro_study_streaming(&cfg, |e| {
+            acc.record(e);
+            exact.push(e.duration.as_millis());
+        });
+        exact.sort_unstable();
+        let n = exact.len();
+        assert!(n > 100_000, "fleet produced only {n} events");
+        assert_eq!(acc.duration_sketch.count(), n as u64);
+        for q in [0.50, 0.90, 0.99] {
+            let v = acc.duration_sketch.quantile(q).expect("non-empty sketch");
+            // Rank error: how far the target rank q·n falls outside the
+            // rank interval the sketched value actually occupies.
+            let lo = exact.partition_point(|&x| x < v) as f64;
+            let hi = exact.partition_point(|&x| x <= v) as f64;
+            let target = q * n as f64;
+            let err = if target < lo {
+                (lo - target) / n as f64
+            } else if target > hi {
+                (target - hi) / n as f64
+            } else {
+                0.0
+            };
+            assert!(err <= 0.01, "q={q}: sketched {v} ms, rank error {err:.4}");
+        }
+        // The per-kind sketches partition the overall stream.
+        let per_kind: u64 = FailureKind::ALL
+            .iter()
+            .map(|k| acc.duration_sketch_by_kind[k.index()].count())
+            .sum();
+        assert_eq!(per_kind, acc.duration_sketch.count());
     }
 }

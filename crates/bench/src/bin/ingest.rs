@@ -1,0 +1,174 @@
+//! `ingest` — replay a synthetic fleet through the full ingestion pipeline:
+//! encode every device's traces as wire batches, route them through the
+//! sharded collector, and report throughput, compression, and the
+//! deterministic aggregate digest.
+//!
+//! ```sh
+//! cargo run --release -p cellrel-bench --bin ingest -- --devices 50000
+//! cargo run --release -p cellrel-bench --bin ingest -- --verify
+//! ```
+//!
+//! Flags: `--devices N` (default 10,000), `--days D` (default 30),
+//! `--seed S` (default 2021), `--threads T` (0 = auto), `--batch B`
+//! (max records per upload batch, default 64), `--verify` (re-run the
+//! collector at 1, 2 and 8 workers and fail unless all digests match).
+//!
+//! The final `digest: <hex>` line is a content digest of the complete
+//! collector state. It is bit-identical at any worker count and across
+//! re-runs — CI compares runs at different thread counts to catch
+//! nondeterminism. The binary exits non-zero if any batch fails to decode
+//! or (under `--verify`) any digest diverges.
+//!
+//! Replay is device-ordered (each device's whole trace, then the next), so
+//! timestamps rewind at every device boundary — the collector's lateness
+//! and out-of-order counters are *expected* to trip; late records are
+//! counted, never dropped.
+
+// Wall-clock is the *measurement* here (records/s), not simulation state —
+// benches are outside the workspace-wide Instant/SystemTime gate.
+#![allow(clippy::disallowed_types)]
+
+use cellrel::ingest::codec::{encode_batch, RAW_RECORD_BYTES};
+use cellrel::ingest::{run_ingest, Collector, CollectorConfig};
+use cellrel::types::{DeviceId, FailureEvent};
+use cellrel::workload::{run_macro_study_streaming, PopulationConfig, StudyConfig};
+use std::time::Instant;
+
+fn parse_flag<T: std::str::FromStr>(args: &mut Vec<String>, flag: &str) -> Option<T> {
+    let pos = args.iter().position(|a| a == flag)?;
+    let value = args
+        .get(pos + 1)
+        .unwrap_or_else(|| panic!("{flag} needs a value"))
+        .parse::<T>()
+        .unwrap_or_else(|_| panic!("{flag}: bad value"));
+    args.drain(pos..pos + 2);
+    Some(value)
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let devices = parse_flag::<usize>(&mut args, "--devices").unwrap_or(10_000);
+    let days = parse_flag::<u64>(&mut args, "--days").unwrap_or(30);
+    let seed = parse_flag::<u64>(&mut args, "--seed").unwrap_or(2021);
+    let threads = parse_flag::<usize>(&mut args, "--threads").unwrap_or(0);
+    let batch_cap = parse_flag::<usize>(&mut args, "--batch")
+        .unwrap_or(64)
+        .max(1);
+    let verify = if let Some(pos) = args.iter().position(|a| a == "--verify") {
+        args.remove(pos);
+        true
+    } else {
+        false
+    };
+    assert!(args.is_empty(), "unrecognised arguments: {args:?}");
+
+    let cfg = StudyConfig {
+        population: PopulationConfig {
+            devices,
+            ..Default::default()
+        },
+        days,
+        bs_count: 2_000,
+        seed,
+    };
+
+    // Phase 1 — generate the fleet's traces and encode them into wire
+    // batches, exactly as device uploaders would (≤ batch_cap records per
+    // batch, per-device sequence numbers).
+    eprintln!("ingest: encoding {devices} devices over {days} days (seed {seed}) ...");
+    let t0 = Instant::now();
+    let mut batches: Vec<Vec<u8>> = Vec::new();
+    let mut records = 0u64;
+    {
+        let mut cur: Option<DeviceId> = None;
+        let mut seq = 0u64;
+        let mut buf: Vec<FailureEvent> = Vec::new();
+        run_macro_study_streaming(&cfg, |e| {
+            if cur != Some(e.device) {
+                if let Some(d) = cur {
+                    if !buf.is_empty() {
+                        batches.push(encode_batch(d, seq, &buf));
+                        buf.clear();
+                    }
+                }
+                cur = Some(e.device);
+                seq = 0;
+            }
+            buf.push(*e);
+            records += 1;
+            if buf.len() >= batch_cap {
+                batches.push(encode_batch(e.device, seq, &buf));
+                seq += 1;
+                buf.clear();
+            }
+        });
+        if let (Some(d), false) = (cur, buf.is_empty()) {
+            batches.push(encode_batch(d, seq, &buf));
+        }
+    }
+    let encode_elapsed = t0.elapsed();
+    let encoded_bytes: u64 = batches.iter().map(|b| b.len() as u64).sum();
+    let raw_bytes = records * RAW_RECORD_BYTES;
+    println!(
+        "encoded {} records into {} batches in {:.2} s ({:.0} records/s)",
+        records,
+        batches.len(),
+        encode_elapsed.as_secs_f64(),
+        records as f64 / encode_elapsed.as_secs_f64().max(1e-9),
+    );
+    println!(
+        "bytes/record: {:.1} encoded vs {} raw ({:.0}% of raw)",
+        encoded_bytes as f64 / records.max(1) as f64,
+        RAW_RECORD_BYTES,
+        encoded_bytes as f64 / raw_bytes.max(1) as f64 * 100.0,
+    );
+
+    // Phase 2 — drive the collector.
+    let run = |workers: usize| -> Collector {
+        let ccfg = CollectorConfig {
+            workers,
+            ..CollectorConfig::default()
+        };
+        run_ingest(&ccfg, |emit| {
+            for b in &batches {
+                emit(b.clone());
+            }
+        })
+    };
+
+    let t1 = Instant::now();
+    let collector = run(threads);
+    let ingest_elapsed = t1.elapsed();
+    let report = collector.report();
+    println!(
+        "ingested {} batches in {:.2} s ({:.0} records/s)",
+        report.counters.batches,
+        ingest_elapsed.as_secs_f64(),
+        report.counters.records as f64 / ingest_elapsed.as_secs_f64().max(1e-9),
+    );
+    print!("{}", report.render());
+
+    if report.counters.decode_errors > 0 || report.unroutable > 0 {
+        eprintln!(
+            "ingest: FAIL — {} decode errors, {} unroutable batches",
+            report.counters.decode_errors, report.unroutable
+        );
+        std::process::exit(1);
+    }
+
+    if verify {
+        for workers in [1usize, 2, 8] {
+            let d = run(workers).digest();
+            if d != report.digest {
+                eprintln!(
+                    "ingest: FAIL — digest {d:016x} at {workers} workers != {:016x}",
+                    report.digest
+                );
+                std::process::exit(1);
+            }
+            eprintln!("ingest: digest stable at {workers} worker(s)");
+        }
+    }
+
+    println!("digest: {:016x}", report.digest);
+}

@@ -181,6 +181,35 @@ fn timp_report() -> String {
     )
 }
 
+/// Encode a representative `n`-record batch with the real wire codec and
+/// return its size in bytes — upload accounting uses measured encodings,
+/// not a compression-factor estimate.
+fn encoded_batch_bytes(n: u64, mean_gap_secs: u64, mean_duration_secs: u64) -> u64 {
+    use cellrel::ingest::codec::encode_batch;
+    use cellrel::types::{
+        Apn, BsId, DataFailCause, DeviceId, FailureEvent, FailureKind, InSituInfo, Isp, Rat,
+        SignalLevel, SimDuration, SimTime,
+    };
+    let device = DeviceId(7);
+    let events: Vec<FailureEvent> = (0..n)
+        .map(|i| FailureEvent {
+            device,
+            kind: FailureKind::from_index((i % 3) as usize).expect("major kind"),
+            start: SimTime::from_secs(i * mean_gap_secs + 13 * (i % 7)),
+            duration: SimDuration::from_secs(mean_duration_secs + 17 * (i % 5)),
+            cause: (i % 3 == 0).then(|| DataFailCause::from_code(2157 + (i % 4) as i32)),
+            ctx: InSituInfo {
+                rat: Rat::from_index((i % 4) as usize).expect("rat < 4"),
+                signal: SignalLevel::new((i % 6) as u8),
+                apn: Apn::Internet,
+                bs: Some(BsId::gsm_cn(1, (i % 9) as u16, 40_000 + i as u32)),
+                isp: Isp::A,
+            },
+        })
+        .collect();
+    encode_batch(device, 0, &events).len() as u64
+}
+
 fn overhead_report() -> String {
     use cellrel::monitor::OverheadAccounting;
     use cellrel::types::SimDuration;
@@ -192,9 +221,11 @@ fn overhead_report() -> String {
         typical.on_record(35);
         typical.add_failure_window(SimDuration::from_secs(188));
     }
-    typical.on_upload(33, 520);
+    // ~33 failures spread over 8 months ≈ one every 7 days.
+    typical.on_upload(33, encoded_batch_bytes(33, 7 * 24 * 3600, 188));
     // Worst case: 40k failures/month with WiFi-batched uploads.
     let mut worst = OverheadAccounting::new();
+    let batch_bytes = encoded_batch_bytes(1000, 65, 60); // ~40k/month ≈ one per 65 s
     let mut pending = 0u64;
     for i in 0..40_000u64 {
         worst.on_event();
@@ -205,7 +236,7 @@ fn overhead_report() -> String {
         pending += 1;
         worst.add_failure_window(SimDuration::from_secs(60));
         if pending == 1000 {
-            worst.on_upload(pending, pending * 35 * 45 / 100);
+            worst.on_upload(pending, batch_bytes);
             pending = 0;
         }
     }

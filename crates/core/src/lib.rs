@@ -19,6 +19,7 @@
 //! | [`netstack`] | `cellrel-netstack` | TCP counters, ICMP/DNS probes, link faults |
 //! | [`telephony`] | `cellrel-telephony` | DataConnection FSM, stall detection, recovery, RAT policies, device agent |
 //! | [`monitor`] | `cellrel-monitor` | Android-MOD: filtering, probing, traces, overhead |
+//! | [`ingest`] | `cellrel-ingest` | backend ingestion: wire codec, sharded collector, sketches |
 //! | [`timp`] | `cellrel-timp` | TIMP model + annealing optimizer |
 //! | [`workload`] | `cellrel-workload` | calibrated population, macro study, A/B drivers |
 //! | [`analysis`] | `cellrel-analysis` | per-table/figure estimators and renderers |
@@ -44,6 +45,7 @@
 pub mod report;
 
 pub use cellrel_analysis as analysis;
+pub use cellrel_ingest as ingest;
 pub use cellrel_modem as modem;
 pub use cellrel_monitor as monitor;
 pub use cellrel_netstack as netstack;
@@ -70,6 +72,7 @@ mod tests {
         let _ = crate::netstack::LinkCondition::Healthy;
         let _ = crate::telephony::RecoveryConfig::timp_optimized();
         let _ = crate::monitor::ProbeSession;
+        let _ = crate::ingest::CollectorConfig::default();
         let _ = crate::timp::AnnealConfig::default();
         let _ = crate::workload::StudyConfig::small();
         let _ = crate::analysis::Table::new("t", &["a"]);

@@ -1,0 +1,333 @@
+//! Checkpoint / restore of collector state.
+//!
+//! A 243-day campaign's ingestion should survive a backend restart without
+//! replaying months of uploads, so the full collector state — per-shard
+//! aggregates, sketches (in sparse form), dedup maps, and watermarks —
+//! serializes to a versioned byte format framed exactly like the wire
+//! codec: magic + version up front, CRC-32 at the back, varints throughout.
+//! Restoring a checkpoint and continuing a stream produces the same digest
+//! as ingesting the whole stream in one run (the pipeline test asserts it).
+//!
+//! ```text
+//! ckpt  := "CK" version:u8 virtual_shards:varint lateness_ms:varint
+//!          unroutable:varint shard* crc32:u32le
+//! shard := counters:varint^9 watermark:varint
+//!          nseq:varint (device:varint seq:varint)*
+//!          agg
+//! agg   := records:varint by_kind:varint^5 by_isp:varint^3 by_rat:varint^4
+//!          duration_ms_total:varint under_30s:varint max_duration_ms:varint
+//!          sketch sketch^5
+//! sketch:= count:varint min:varint max:varint nnz:varint
+//!          (delta_index:varint count:varint)*
+//! ```
+//!
+//! Sketches serialize sparsely — only non-empty buckets, with delta-coded
+//! indices — so an idle shard costs a handful of bytes, not 58 KiB.
+//! Restore is total: corrupt or truncated checkpoints yield a
+//! [`DecodeError`], never a panic or a half-restored collector.
+
+use crate::codec::{crc32, read_varint, write_varint, DecodeError};
+use crate::collector::{Collector, IngestAggregate, IngestCounters, ShardState};
+use crate::sketch::QuantileSketch;
+use std::collections::BTreeMap;
+
+/// Checkpoint framing magic.
+pub const CKPT_MAGIC: [u8; 2] = *b"CK";
+/// Current checkpoint format version.
+pub const CKPT_VERSION: u8 = 1;
+
+fn write_sketch(out: &mut Vec<u8>, s: &QuantileSketch) {
+    write_varint(out, s.count());
+    write_varint(out, s.min().unwrap_or(0));
+    write_varint(out, s.max().unwrap_or(0));
+    let pairs: Vec<(usize, u64)> = s.nonzero_buckets().collect();
+    write_varint(out, pairs.len() as u64);
+    let mut prev = 0usize;
+    for (i, c) in pairs {
+        write_varint(out, (i - prev) as u64);
+        prev = i;
+        write_varint(out, c);
+    }
+}
+
+fn read_sketch(bytes: &[u8], pos: &mut usize) -> Result<QuantileSketch, DecodeError> {
+    let count = read_varint(bytes, pos)?;
+    let min = read_varint(bytes, pos)?;
+    let max = read_varint(bytes, pos)?;
+    let nnz = read_varint(bytes, pos)?;
+    // Each pair costs ≥ 2 bytes on the wire; bound before allocating.
+    if nnz > (bytes.len() as u64) / 2 + 1 {
+        return Err(DecodeError::InvalidField("sketch nnz"));
+    }
+    let mut pairs = Vec::with_capacity(nnz as usize);
+    let mut index = 0u64;
+    for i in 0..nnz {
+        let delta = read_varint(bytes, pos)?;
+        if i > 0 && delta == 0 {
+            return Err(DecodeError::InvalidField("sketch index delta"));
+        }
+        index = index
+            .checked_add(delta)
+            .ok_or(DecodeError::InvalidField("sketch index"))?;
+        let c = read_varint(bytes, pos)?;
+        pairs.push((index as usize, c));
+    }
+    let s = QuantileSketch::from_parts(min, max, pairs)
+        .ok_or(DecodeError::InvalidField("sketch buckets"))?;
+    if s.count() != count {
+        return Err(DecodeError::InvalidField("sketch count"));
+    }
+    Ok(s)
+}
+
+fn write_agg(out: &mut Vec<u8>, a: &IngestAggregate) {
+    write_varint(out, a.records);
+    for c in a.by_kind.iter().chain(&a.by_isp).chain(&a.by_rat) {
+        write_varint(out, *c);
+    }
+    write_varint(out, a.duration_ms_total);
+    write_varint(out, a.under_30s);
+    write_varint(out, a.max_duration_ms);
+    write_sketch(out, &a.sketch_all);
+    for s in &a.sketch_by_kind {
+        write_sketch(out, s);
+    }
+}
+
+fn read_agg(bytes: &[u8], pos: &mut usize) -> Result<IngestAggregate, DecodeError> {
+    let mut a = IngestAggregate {
+        records: read_varint(bytes, pos)?,
+        ..IngestAggregate::default()
+    };
+    for c in a
+        .by_kind
+        .iter_mut()
+        .chain(&mut a.by_isp)
+        .chain(&mut a.by_rat)
+    {
+        *c = read_varint(bytes, pos)?;
+    }
+    a.duration_ms_total = read_varint(bytes, pos)?;
+    a.under_30s = read_varint(bytes, pos)?;
+    a.max_duration_ms = read_varint(bytes, pos)?;
+    a.sketch_all = read_sketch(bytes, pos)?;
+    for s in &mut a.sketch_by_kind {
+        *s = read_sketch(bytes, pos)?;
+    }
+    Ok(a)
+}
+
+/// Serialize the collector's full state.
+pub fn save_checkpoint(c: &Collector) -> Vec<u8> {
+    let mut out = Vec::with_capacity(256);
+    out.extend_from_slice(&CKPT_MAGIC);
+    out.push(CKPT_VERSION);
+    write_varint(&mut out, c.virtual_shards as u64);
+    write_varint(&mut out, c.lateness_ms);
+    write_varint(&mut out, c.unroutable);
+    for s in &c.shards {
+        let k = &s.counters;
+        for v in [
+            k.batches,
+            k.bytes,
+            k.records,
+            k.decode_errors,
+            k.duplicate_batches,
+            k.duplicate_records,
+            k.filtered_noise,
+            k.late_records,
+            k.out_of_order_batches,
+        ] {
+            write_varint(&mut out, v);
+        }
+        write_varint(&mut out, s.watermark_ms);
+        write_varint(&mut out, s.last_seq.len() as u64);
+        for (&dev, &seq) in &s.last_seq {
+            write_varint(&mut out, u64::from(dev));
+            write_varint(&mut out, seq);
+        }
+        write_agg(&mut out, &s.agg);
+    }
+    let crc = crc32(&out);
+    out.extend_from_slice(&crc.to_le_bytes());
+    out
+}
+
+/// Rebuild a collector from checkpoint bytes. Total: malformed input yields
+/// a [`DecodeError`].
+pub fn restore_checkpoint(bytes: &[u8]) -> Result<Collector, DecodeError> {
+    if bytes.len() < CKPT_MAGIC.len() + 1 + 4 {
+        return Err(DecodeError::Truncated);
+    }
+    let (payload, trailer) = bytes.split_at(bytes.len() - 4);
+    if payload[..2] != CKPT_MAGIC {
+        return Err(DecodeError::BadMagic);
+    }
+    let stored = u32::from_le_bytes([trailer[0], trailer[1], trailer[2], trailer[3]]);
+    let computed = crc32(payload);
+    if computed != stored {
+        return Err(DecodeError::BadCrc { computed, stored });
+    }
+    let mut pos = 2;
+    let version = payload[pos];
+    pos += 1;
+    if version != CKPT_VERSION {
+        return Err(DecodeError::UnsupportedVersion(version));
+    }
+    let virtual_shards = read_varint(payload, &mut pos)?;
+    if virtual_shards == 0 || virtual_shards > 1 << 20 {
+        return Err(DecodeError::InvalidField("virtual_shards"));
+    }
+    let lateness_ms = read_varint(payload, &mut pos)?;
+    let unroutable = read_varint(payload, &mut pos)?;
+    let mut shards = Vec::with_capacity(virtual_shards as usize);
+    for _ in 0..virtual_shards {
+        let mut k = IngestCounters::default();
+        for v in [
+            &mut k.batches,
+            &mut k.bytes,
+            &mut k.records,
+            &mut k.decode_errors,
+            &mut k.duplicate_batches,
+            &mut k.duplicate_records,
+            &mut k.filtered_noise,
+            &mut k.late_records,
+            &mut k.out_of_order_batches,
+        ] {
+            *v = read_varint(payload, &mut pos)?;
+        }
+        let watermark_ms = read_varint(payload, &mut pos)?;
+        let nseq = read_varint(payload, &mut pos)?;
+        // Each entry costs ≥ 2 bytes; bound before allocating.
+        if nseq > (payload.len() as u64) / 2 + 1 {
+            return Err(DecodeError::InvalidField("nseq"));
+        }
+        let mut last_seq = BTreeMap::new();
+        for _ in 0..nseq {
+            let dev = read_varint(payload, &mut pos)?;
+            let dev = u32::try_from(dev).map_err(|_| DecodeError::InvalidField("device"))?;
+            let seq = read_varint(payload, &mut pos)?;
+            last_seq.insert(dev, seq);
+        }
+        let agg = read_agg(payload, &mut pos)?;
+        shards.push(ShardState {
+            agg,
+            counters: k,
+            last_seq,
+            watermark_ms,
+        });
+    }
+    if pos != payload.len() {
+        return Err(DecodeError::TrailingBytes);
+    }
+    Ok(Collector {
+        virtual_shards: virtual_shards as usize,
+        lateness_ms,
+        shards,
+        unroutable,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::encode_batch;
+    use crate::collector::CollectorConfig;
+    use cellrel_types::{
+        Apn, BsId, DeviceId, FailureEvent, FailureKind, InSituInfo, Isp, Rat, SignalLevel,
+        SimDuration, SimTime,
+    };
+
+    fn ev(device: u32, start_s: u64, dur_s: u64) -> FailureEvent {
+        FailureEvent {
+            device: DeviceId(device),
+            kind: FailureKind::DataStall,
+            start: SimTime::from_secs(start_s),
+            duration: SimDuration::from_secs(dur_s),
+            cause: None,
+            ctx: InSituInfo {
+                rat: Rat::G4,
+                signal: SignalLevel::L2,
+                apn: Apn::Internet,
+                bs: Some(BsId::gsm_cn(0, 3, 9)),
+                isp: Isp::C,
+            },
+        }
+    }
+
+    fn populated() -> Collector {
+        let cfg = CollectorConfig {
+            virtual_shards: 8,
+            ..CollectorConfig::default()
+        };
+        let mut c = Collector::new(&cfg);
+        for d in 0..40u32 {
+            let records: Vec<FailureEvent> = (0..6)
+                .map(|i| ev(d, 100 * i + u64::from(d), 3 + i))
+                .collect();
+            c.ingest(&encode_batch(DeviceId(d), 0, &records));
+        }
+        c
+    }
+
+    #[test]
+    fn round_trip_preserves_digest() {
+        let c = populated();
+        let bytes = save_checkpoint(&c);
+        let r = restore_checkpoint(&bytes).expect("restore");
+        assert_eq!(r.digest(), c.digest());
+        assert_eq!(r.report().counters, c.report().counters);
+    }
+
+    #[test]
+    fn restored_collector_continues_identically() {
+        let mut full = populated();
+        let mut resumed = restore_checkpoint(&save_checkpoint(&populated())).unwrap();
+        for d in 0..40u32 {
+            let b = encode_batch(DeviceId(d), 1, &[ev(d, 10_000 + u64::from(d), 9)]);
+            full.ingest(&b);
+            resumed.ingest(&b);
+        }
+        assert_eq!(full.digest(), resumed.digest());
+    }
+
+    #[test]
+    fn empty_collector_round_trips_small() {
+        let c = Collector::new(&CollectorConfig::default());
+        let bytes = save_checkpoint(&c);
+        // ~51 bytes per empty shard (sparse sketches), not 58 KiB each.
+        assert!(
+            bytes.len() < 4096,
+            "empty checkpoint is {} bytes",
+            bytes.len()
+        );
+        let r = restore_checkpoint(&bytes).unwrap();
+        assert_eq!(r.digest(), c.digest());
+    }
+
+    #[test]
+    fn corruption_and_truncation_are_errors() {
+        let bytes = save_checkpoint(&populated());
+        for cut in 0..bytes.len().min(64) {
+            assert!(restore_checkpoint(&bytes[..cut]).is_err());
+        }
+        for i in (0..bytes.len()).step_by(7) {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x20;
+            assert!(restore_checkpoint(&bad).is_err(), "flip at {i} undetected");
+        }
+    }
+
+    #[test]
+    fn wrong_version_is_rejected() {
+        let mut bytes = save_checkpoint(&Collector::new(&CollectorConfig::default()));
+        bytes[2] = 99;
+        let n = bytes.len();
+        let crc = crc32(&bytes[..n - 4]).to_le_bytes();
+        bytes[n - 4..].copy_from_slice(&crc);
+        assert_eq!(
+            restore_checkpoint(&bytes),
+            Err(DecodeError::UnsupportedVersion(99))
+        );
+    }
+}

@@ -1,0 +1,43 @@
+//! # cellrel-ingest
+//!
+//! The fleet telemetry **ingestion pipeline**: the backend half of the
+//! paper's nationwide measurement platform (§2.2), which collected 2.32 B
+//! failure records from 70 M devices as compressed uploads.
+//!
+//! Three layers, bottom up:
+//!
+//! * [`codec`] — the compact binary wire format for trace batches: LEB128
+//!   varints, delta-of-timestamps, per-batch framing (magic, schema
+//!   version, device id, upload sequence number) and a CRC-32 trailer.
+//!   Encoding is a pure function of the record set; decoding is total —
+//!   adversarial bytes yield a [`codec::DecodeError`], never a panic.
+//!   The device-side `Uploader` in `cellrel-monitor` ships these bytes, so
+//!   the network-overhead numbers in the monitor are measured, not
+//!   estimated with a compression fudge factor.
+//! * [`sketch`] — mergeable streaming quantile sketches for failure
+//!   durations. Bucket counts add exactly, so merges are commutative and
+//!   associative and the aggregate is bit-identical at any shard order.
+//! * [`collector`] — the sharded collector: batches route to
+//!   `device % virtual_shards`, workers behind bounded channels apply
+//!   dedup (per-device upload seq), §2.1 noise filtering, and
+//!   late/out-of-order accounting, then fold into constant-memory
+//!   aggregates whose digest is identical at 1, 2, or 8 ingest threads.
+//! * [`checkpoint`] — versioned, CRC-framed serialization of the full
+//!   collector state, so ingestion survives restarts without replay.
+//!
+//! [`cellrel_monitor::Uploader`]: https://docs.rs/cellrel-monitor
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod checkpoint;
+pub mod codec;
+pub mod collector;
+pub mod sketch;
+
+pub use checkpoint::{restore_checkpoint, save_checkpoint};
+pub use codec::{decode_batch, encode_batch, peek_device, DecodeError, WireBatch};
+pub use collector::{
+    run_ingest, Collector, CollectorConfig, IngestAggregate, IngestCounters, IngestReport,
+};
+pub use sketch::QuantileSketch;

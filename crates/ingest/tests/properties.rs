@@ -1,0 +1,240 @@
+//! Property-based tests for the ingestion wire codec and the streaming
+//! quantile sketch: primitive roundtrips, whole-batch roundtrips on
+//! arbitrary records, totality of the decoder on hostile input, and the
+//! algebra of sketch merging.
+
+use cellrel_ingest::codec::{
+    crc32, decode_batch, encode_batch, peek_device, read_varint, unzigzag, write_varint, zigzag,
+};
+use cellrel_ingest::QuantileSketch;
+use cellrel_sim::Merge;
+use cellrel_types::{
+    Apn, BsId, DataFailCause, DeviceId, FailureEvent, FailureKind, InSituInfo, Isp, Rat,
+    SignalLevel, SimDuration, SimTime,
+};
+use proptest::prelude::*;
+
+/// The field material of one record, minus the device (batches are
+/// single-device; the device comes from the batch header). Grouped into
+/// nested tuples because the vendored proptest implements `Strategy` for
+/// tuples of ≤ 5 elements only.
+type RecordParts = (
+    (usize, u64, u64),                      // kind index, start ms, duration ms
+    (Option<i32>, usize, u8, usize),        // cause code, rat, signal, apn
+    (Option<(bool, u16, u16, u32)>, usize), // bs (is_gsm, a, b, c), isp
+);
+
+fn parts_strategy() -> impl Strategy<Value = RecordParts> {
+    (
+        (0usize..5, 0u64..1 << 60, 0u64..1 << 60),
+        (prop::option::of(any::<i32>()), 0usize..4, 0u8..6, 0usize..4),
+        (
+            prop::option::of((any::<bool>(), any::<u16>(), any::<u16>(), any::<u32>())),
+            0usize..3,
+        ),
+    )
+}
+
+fn build_event(device: DeviceId, p: &RecordParts) -> FailureEvent {
+    let ((kind, start, duration), (cause, rat, signal, apn), (bs, isp)) = *p;
+    FailureEvent {
+        device,
+        kind: FailureKind::from_index(kind).expect("kind < 5"),
+        start: SimTime::from_millis(start),
+        duration: SimDuration::from_millis(duration),
+        cause: cause.map(DataFailCause::from_code),
+        ctx: InSituInfo {
+            rat: Rat::from_index(rat).expect("rat < 4"),
+            signal: SignalLevel::new(signal),
+            apn: Apn::from_index(apn).expect("apn < 4"),
+            bs: bs.map(|(is_gsm, a, b, c)| {
+                if is_gsm {
+                    BsId::Gsm {
+                        mcc: a,
+                        mnc: b,
+                        lac: a.wrapping_add(b),
+                        cid: c,
+                    }
+                } else {
+                    BsId::Cdma {
+                        sid: a,
+                        nid: b,
+                        bid: c,
+                    }
+                }
+            }),
+            isp: Isp::from_index(isp).expect("isp < 3"),
+        },
+    }
+}
+
+proptest! {
+    #[test]
+    fn varint_roundtrips_every_u64(v in any::<u64>()) {
+        let mut buf = Vec::new();
+        write_varint(&mut buf, v);
+        prop_assert!(buf.len() <= 10);
+        let mut pos = 0;
+        prop_assert_eq!(read_varint(&buf, &mut pos), Ok(v));
+        prop_assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn zigzag_roundtrips_every_i64(v in any::<i64>()) {
+        prop_assert_eq!(unzigzag(zigzag(v)), v);
+    }
+
+    #[test]
+    fn truncated_varints_are_errors(v in any::<u64>(), cut in 0usize..10) {
+        let mut buf = Vec::new();
+        write_varint(&mut buf, v);
+        if cut < buf.len() {
+            buf.truncate(cut);
+            let mut pos = 0;
+            prop_assert!(read_varint(&buf, &mut pos).is_err());
+        }
+    }
+
+    #[test]
+    fn batches_roundtrip_arbitrary_records(
+        device in any::<u32>(),
+        seq in any::<u64>(),
+        parts in prop::collection::vec(parts_strategy(), 0..40),
+    ) {
+        let device = DeviceId(device);
+        let events: Vec<FailureEvent> =
+            parts.iter().map(|p| build_event(device, p)).collect();
+        let bytes = encode_batch(device, seq, &events);
+
+        prop_assert_eq!(peek_device(&bytes), Ok(device));
+        let batch = decode_batch(&bytes).expect("own encoding decodes");
+        prop_assert_eq!(batch.device, device);
+        prop_assert_eq!(batch.seq, seq);
+        prop_assert_eq!(batch.records.len(), events.len());
+        for r in &batch.records {
+            prop_assert_eq!(r.device, device);
+        }
+        // Encoding is canonical: re-encoding the decoded records reproduces
+        // the exact bytes, so decode lost nothing the wire format carries.
+        prop_assert_eq!(encode_batch(device, seq, &batch.records), bytes);
+    }
+
+    #[test]
+    fn truncated_batches_are_errors_never_panics(
+        device in any::<u32>(),
+        parts in prop::collection::vec(parts_strategy(), 1..20),
+        cut_seed in any::<usize>(),
+    ) {
+        let device = DeviceId(device);
+        let events: Vec<FailureEvent> =
+            parts.iter().map(|p| build_event(device, p)).collect();
+        let bytes = encode_batch(device, 0, &events);
+        let cut = cut_seed % bytes.len(); // strictly shorter prefix
+        prop_assert!(decode_batch(&bytes[..cut]).is_err());
+    }
+
+    #[test]
+    fn corrupted_batches_are_errors_never_panics(
+        device in any::<u32>(),
+        parts in prop::collection::vec(parts_strategy(), 1..20),
+        at_seed in any::<usize>(),
+        mask in 1u8..=255,
+    ) {
+        let device = DeviceId(device);
+        let events: Vec<FailureEvent> =
+            parts.iter().map(|p| build_event(device, p)).collect();
+        let mut bytes = encode_batch(device, 0, &events);
+        let at = at_seed % bytes.len();
+        bytes[at] ^= mask;
+        // A single flipped byte is always caught: by the CRC if it lands in
+        // the payload, or by the CRC comparison if it lands in the trailer.
+        prop_assert!(decode_batch(&bytes).is_err());
+    }
+
+    #[test]
+    fn garbage_never_panics_the_decoder(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        let _ = decode_batch(&bytes);
+        let _ = peek_device(&bytes);
+        let mut pos = 0;
+        let _ = read_varint(&bytes, &mut pos);
+    }
+
+    #[test]
+    fn crc_detects_any_single_byte_change(
+        bytes in prop::collection::vec(any::<u8>(), 1..128),
+        at_seed in any::<usize>(),
+        mask in 1u8..=255,
+    ) {
+        let before = crc32(&bytes);
+        let mut changed = bytes;
+        let at = at_seed % changed.len();
+        changed[at] ^= mask;
+        prop_assert_ne!(crc32(&changed), before);
+    }
+
+    #[test]
+    fn sketch_merge_is_commutative(
+        xs in prop::collection::vec(0u64..1 << 50, 0..200),
+        ys in prop::collection::vec(0u64..1 << 50, 0..200),
+    ) {
+        let mut a = QuantileSketch::new();
+        xs.iter().for_each(|&v| a.push(v));
+        let mut b = QuantileSketch::new();
+        ys.iter().for_each(|&v| b.push(v));
+
+        let mut ab = a.clone();
+        ab.merge(b.clone());
+        let mut ba = b;
+        ba.merge(a);
+        prop_assert_eq!(&ab, &ba);
+
+        // Merging equals pushing the concatenated stream.
+        let mut all = QuantileSketch::new();
+        xs.iter().chain(ys.iter()).for_each(|&v| all.push(v));
+        prop_assert_eq!(&ab, &all);
+    }
+
+    #[test]
+    fn sketch_merge_is_associative(
+        xs in prop::collection::vec(0u64..1 << 50, 0..100),
+        ys in prop::collection::vec(0u64..1 << 50, 0..100),
+        zs in prop::collection::vec(0u64..1 << 50, 0..100),
+    ) {
+        let build = |vals: &[u64]| {
+            let mut s = QuantileSketch::new();
+            vals.iter().for_each(|&v| s.push(v));
+            s
+        };
+        let (a, b, c) = (build(&xs), build(&ys), build(&zs));
+
+        let mut left = a.clone();
+        left.merge(b.clone());
+        left.merge(c.clone());
+
+        let mut bc = b;
+        bc.merge(c);
+        let mut right = a;
+        right.merge(bc);
+
+        prop_assert_eq!(left, right);
+    }
+
+    #[test]
+    fn sketch_quantiles_stay_within_bucket_resolution(
+        mut xs in prop::collection::vec(1u64..1 << 40, 1..300),
+        q in 0.0f64..1.0,
+    ) {
+        let mut s = QuantileSketch::new();
+        xs.iter().for_each(|&v| s.push(v));
+        xs.sort_unstable();
+        let v = s.quantile(q).expect("non-empty");
+        prop_assert!(v >= xs[0] && v <= xs[xs.len() - 1]);
+        // Relative value error is bounded by the sub-bucket width (1/128).
+        let rank = ((q * xs.len() as f64).ceil() as usize).clamp(1, xs.len());
+        let exact = xs[rank - 1] as f64;
+        prop_assert!(
+            (v as f64 - exact).abs() <= exact / 128.0 + 1.0,
+            "q={q}: sketched {v}, exact {exact}"
+        );
+    }
+}

@@ -7,6 +7,7 @@
 //! fully simulated devices.
 
 use crate::trace::TraceRecord;
+use cellrel_ingest::codec::{decode_batch, DecodeError};
 use cellrel_types::{DeviceId, FailureEvent, FailureKind, SimDuration};
 use std::collections::HashMap;
 
@@ -55,7 +56,8 @@ impl Backend {
         self.enrolled += 1;
     }
 
-    /// Ingest one upload batch from a device.
+    /// Ingest one upload batch from a device (in-process path; byte
+    /// accounting uses the raw row size since nothing crossed a wire).
     pub fn ingest(&mut self, device: DeviceId, batch: Vec<TraceRecord>) {
         self.uploads += 1;
         for r in &batch {
@@ -64,6 +66,21 @@ impl Backend {
         }
         *self.per_device.entry(device).or_default() += batch.len() as u32;
         self.records.extend(batch);
+    }
+
+    /// Ingest one encoded wire batch — the path real uploads take. Byte
+    /// accounting uses the actual encoded length. Returns the record count,
+    /// or the decode error for corrupt/truncated uploads (which leave the
+    /// backend state untouched).
+    pub fn ingest_encoded(&mut self, bytes: &[u8]) -> Result<u64, DecodeError> {
+        let batch = decode_batch(bytes)?;
+        self.uploads += 1;
+        self.uploaded_bytes += bytes.len() as u64;
+        *self.per_device.entry(batch.device).or_default() += batch.records.len() as u32;
+        let n = batch.records.len() as u64;
+        self.records
+            .extend(batch.records.iter().map(TraceRecord::from_failure_event));
+        Ok(n)
     }
 
     /// All ingested records.
@@ -211,5 +228,28 @@ mod tests {
         b.ingest(DeviceId(0), vec![record(0, FailureKind::DataStall, 1)]);
         assert_eq!(b.uploads(), 1);
         assert_eq!(b.uploaded_bytes(), 35);
+    }
+
+    #[test]
+    fn encoded_ingest_counts_wire_bytes() {
+        let mut b = Backend::new();
+        b.enroll(DeviceId(0));
+        let records = [
+            record(0, FailureKind::DataStall, 30),
+            record(0, FailureKind::OutOfService, 99),
+        ];
+        let events: Vec<_> = records.iter().map(|r| r.to_failure_event()).collect();
+        let bytes = cellrel_ingest::codec::encode_batch(DeviceId(0), 0, &events);
+        assert_eq!(b.ingest_encoded(&bytes).unwrap(), 2);
+        assert_eq!(b.uploaded_bytes(), bytes.len() as u64);
+        assert_eq!(b.records().len(), 2);
+        assert_eq!(b.summary().failing_devices, 1);
+
+        // A corrupt upload errors out and leaves the state untouched.
+        let mut bad = bytes.clone();
+        bad[5] ^= 0xff;
+        assert!(b.ingest_encoded(&bad).is_err());
+        assert_eq!(b.records().len(), 2);
+        assert_eq!(b.uploaded_bytes(), bytes.len() as u64);
     }
 }

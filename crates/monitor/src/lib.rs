@@ -18,7 +18,10 @@
 //!   matrix.
 //! * [`overhead`] — CPU/memory/storage/network overhead accounting against
 //!   the paper's budgets.
-//! * [`uploader`] — WiFi-gated, compressed trace upload batching.
+//! * [`uploader`] — WiFi-gated trace upload batching. Flushes encode real
+//!   `cellrel-ingest` wire batches, so network accounting reflects actual
+//!   encoded bytes and the [`Backend`] can ingest straight off the wire
+//!   (`Backend::ingest_encoded`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -37,4 +40,4 @@ pub use overhead::OverheadAccounting;
 pub use probing::{ProbeConfig, ProbeSession, StallMeasurement};
 pub use service::MonitoringService;
 pub use trace::TraceRecord;
-pub use uploader::Uploader;
+pub use uploader::{EncodedUpload, Uploader};

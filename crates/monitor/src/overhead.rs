@@ -129,7 +129,8 @@ mod tests {
             o.on_record(35);
             o.add_failure_window(SimDuration::from_secs(188));
         }
-        o.on_upload(33, 33 * 35 / 2);
+        // ~23 B/record on the wire (measured codec output vs the 35 B row).
+        o.on_upload(33, 33 * 23);
         assert!(
             o.within_typical_budget(),
             "cpu {:.4} mem {} sto {} net {}",
@@ -156,7 +157,8 @@ mod tests {
             pending += 1;
             o.add_failure_window(SimDuration::from_secs(60));
             if pending == 1000 {
-                o.on_upload(pending, pending * 35 * 45 / 100);
+                // ~23 B/record of actual wire bytes per flushed batch.
+                o.on_upload(pending, pending * 23);
                 pending = 0;
             }
         }

@@ -9,7 +9,7 @@ use crate::filter::{FilterDecision, FpFilter};
 use crate::overhead::OverheadAccounting;
 use crate::probing::ProbeSession;
 use crate::trace::TraceRecord;
-use crate::uploader::Uploader;
+use crate::uploader::{EncodedUpload, Uploader};
 use cellrel_netstack::LinkCondition;
 use cellrel_sim::SimRng;
 use cellrel_telephony::{TelephonyEvent, TelephonyListener};
@@ -85,7 +85,7 @@ impl MonitoringService {
             setup_episode: SetupEpisode::default(),
             pending_stall: None,
             overhead: OverheadAccounting::new(),
-            uploader: Uploader::new(),
+            uploader: Uploader::new(device),
             events_seen: 0,
         }
     }
@@ -121,15 +121,17 @@ impl MonitoringService {
     }
 
     /// An upload opportunity (the workload layer calls this periodically).
-    pub fn upload_opportunity(&mut self, now: SimTime, wifi: bool) {
-        if let Some((records, bytes)) = self.uploader.try_upload(now, wifi) {
-            self.overhead.on_upload(records, bytes);
-        }
+    /// Returns the encoded wire batch that was shipped, if any, so the
+    /// caller can deliver it to a backend.
+    pub fn upload_opportunity(&mut self, now: SimTime, wifi: bool) -> Option<EncodedUpload> {
+        let up = self.uploader.try_upload(now, wifi)?;
+        self.overhead.on_upload(up.records, up.payload.len() as u64);
+        Some(up)
     }
 
     fn push_record(&mut self, record: TraceRecord) -> usize {
         self.overhead.on_record(record.encoded_size());
-        self.uploader.enqueue(record.encoded_size());
+        self.uploader.enqueue(&record);
         self.overhead.add_failure_window(record.duration);
         self.records.push(record);
         self.records.len() - 1

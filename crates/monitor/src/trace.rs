@@ -36,8 +36,22 @@ impl TraceRecord {
         }
     }
 
-    /// Serialized size estimate in bytes (compact binary row: ids, code,
-    /// timestamps, context — the uploader budgets with this).
+    /// Inverse of [`TraceRecord::to_failure_event`] — the backend rebuilds
+    /// records from decoded wire batches through this.
+    pub fn from_failure_event(e: &FailureEvent) -> TraceRecord {
+        TraceRecord {
+            device: e.device,
+            kind: e.kind,
+            start: e.start,
+            duration: e.duration,
+            cause: e.cause,
+            ctx: e.ctx,
+        }
+    }
+
+    /// Raw (pre-codec) size of one record in bytes: the fixed-width row the
+    /// monitor budgets on-device storage with, and the baseline the wire
+    /// codec's bytes/record is measured against.
     pub fn encoded_size(&self) -> u64 {
         // device(4) + kind(1) + start(8) + duration(8) + cause(2, optional
         // flag folded in) + ctx: rat(1)+level(1)+apn(1)+bs(8)+isp(1) = 35.

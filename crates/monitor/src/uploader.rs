@@ -3,53 +3,81 @@
 //! Traces are compressed and uploaded to the backend; for heavy users
 //! ("recorded data are uploaded to our backend server only when there is
 //! WiFi connectivity") the uploader defers until WiFi is available.
+//!
+//! Batches ship as real `cellrel-ingest` wire bytes: each flush encodes the
+//! pending records with [`encode_batch`] under a per-device upload sequence
+//! number, so the network byte counts fed to overhead accounting are the
+//! actual encoded sizes (varint + delta-of-timestamp + CRC framing), not an
+//! assumed compression ratio, and the backend can deduplicate re-delivered
+//! batches by `(device, seq)`.
 
-use cellrel_types::SimTime;
+use crate::trace::TraceRecord;
+use cellrel_ingest::codec::encode_batch;
+use cellrel_types::{DeviceId, FailureEvent, SimTime};
 
-/// Compression ratio for trace batches (compact binary rows compress well).
-const COMPRESSION: f64 = 0.45;
-
-/// Pending bytes above which an upload is forced even without WiFi (safety
-/// valve so traces aren't lost; mirrors the "typical users upload over
-/// cellular because volumes are tiny" behaviour).
+/// Pending raw bytes above which an upload is forced to wait for WiFi
+/// (typical users' volumes are tiny, so cellular upload is fine; heavy
+/// users batch until WiFi).
 const CELLULAR_OK_THRESHOLD: u64 = 64 * 1024;
 
+/// One flushed upload: the encoded wire batch plus its bookkeeping.
+#[derive(Debug, Clone)]
+pub struct EncodedUpload {
+    /// The upload sequence number the batch was framed with.
+    pub seq: u64,
+    /// Records in the batch.
+    pub records: u64,
+    /// The encoded wire bytes (what actually crosses the network).
+    pub payload: Vec<u8>,
+}
+
 /// The trace uploader: batches records and flushes opportunistically.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct Uploader {
-    pending_records: u64,
-    pending_bytes: u64,
+    device: DeviceId,
+    pending: Vec<TraceRecord>,
+    pending_raw_bytes: u64,
+    next_seq: u64,
     uploaded_records: u64,
-    uploaded_bytes_compressed: u64,
+    uploaded_bytes_encoded: u64,
     uploads: u32,
     last_upload: Option<SimTime>,
 }
 
 impl Uploader {
-    /// Fresh uploader.
-    pub fn new() -> Self {
-        Self::default()
+    /// Fresh uploader for one device.
+    pub fn new(device: DeviceId) -> Self {
+        Uploader {
+            device,
+            pending: Vec::new(),
+            pending_raw_bytes: 0,
+            next_seq: 0,
+            uploaded_records: 0,
+            uploaded_bytes_encoded: 0,
+            uploads: 0,
+            last_upload: None,
+        }
     }
 
-    /// Queue one record of `bytes` raw size.
-    pub fn enqueue(&mut self, bytes: u64) {
-        self.pending_records += 1;
-        self.pending_bytes += bytes;
+    /// Queue one record for upload.
+    pub fn enqueue(&mut self, record: &TraceRecord) {
+        self.pending_raw_bytes += record.encoded_size();
+        self.pending.push(*record);
     }
 
     /// Records waiting for upload.
     pub fn pending_records(&self) -> u64 {
-        self.pending_records
+        self.pending.len() as u64
     }
 
-    /// Raw bytes waiting for upload.
+    /// Raw (pre-codec) bytes waiting for upload — the gating metric.
     pub fn pending_bytes(&self) -> u64 {
-        self.pending_bytes
+        self.pending_raw_bytes
     }
 
-    /// Compressed bytes shipped so far.
+    /// Encoded wire bytes shipped so far.
     pub fn uploaded_bytes(&self) -> u64 {
-        self.uploaded_bytes_compressed
+        self.uploaded_bytes_encoded
     }
 
     /// Records shipped so far.
@@ -64,75 +92,134 @@ impl Uploader {
 
     /// An upload opportunity: flush if WiFi is available, or if the pending
     /// volume is small enough that cellular upload is fine. Returns the
-    /// compressed bytes shipped (the caller feeds this to overhead
-    /// accounting), or `None` if nothing was shipped.
-    pub fn try_upload(&mut self, now: SimTime, wifi_available: bool) -> Option<(u64, u64)> {
-        if self.pending_records == 0 {
+    /// encoded batch that was shipped (the caller feeds `payload.len()` to
+    /// overhead accounting and the bytes to the backend), or `None` if
+    /// nothing was shipped.
+    pub fn try_upload(&mut self, now: SimTime, wifi_available: bool) -> Option<EncodedUpload> {
+        if self.pending.is_empty() {
             return None;
         }
-        let small = self.pending_bytes <= CELLULAR_OK_THRESHOLD;
+        let small = self.pending_raw_bytes <= CELLULAR_OK_THRESHOLD;
         if !wifi_available && !small {
             return None;
         }
-        let records = self.pending_records;
-        let compressed = (self.pending_bytes as f64 * COMPRESSION).ceil() as u64;
+        let events: Vec<FailureEvent> = self.pending.iter().map(|r| r.to_failure_event()).collect();
+        let seq = self.next_seq;
+        let payload = encode_batch(self.device, seq, &events);
+        let records = self.pending.len() as u64;
+
+        self.next_seq += 1;
         self.uploaded_records += records;
-        self.uploaded_bytes_compressed += compressed;
+        self.uploaded_bytes_encoded += payload.len() as u64;
         self.uploads += 1;
-        self.pending_records = 0;
-        self.pending_bytes = 0;
+        self.pending.clear();
+        self.pending_raw_bytes = 0;
         self.last_upload = Some(now);
-        Some((records, compressed))
+        Some(EncodedUpload {
+            seq,
+            records,
+            payload,
+        })
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use cellrel_ingest::codec::{decode_batch, RAW_RECORD_BYTES};
+    use cellrel_types::{Apn, BsId, FailureKind, InSituInfo, Isp, Rat, SignalLevel, SimDuration};
+
+    fn record(start_s: u64) -> TraceRecord {
+        TraceRecord {
+            device: DeviceId(9),
+            kind: FailureKind::DataStall,
+            start: SimTime::from_secs(start_s),
+            duration: SimDuration::from_secs(14),
+            cause: None,
+            ctx: InSituInfo {
+                rat: Rat::G4,
+                signal: SignalLevel::L3,
+                apn: Apn::Internet,
+                bs: Some(BsId::gsm_cn(0, 40, 1200)),
+                isp: Isp::A,
+            },
+        }
+    }
 
     #[test]
     fn small_batches_upload_over_cellular() {
-        let mut u = Uploader::new();
-        u.enqueue(35);
-        u.enqueue(35);
-        let (records, bytes) = u
-            .try_upload(SimTime::from_secs(10), false)
+        let mut u = Uploader::new(DeviceId(9));
+        u.enqueue(&record(10));
+        u.enqueue(&record(20));
+        let up = u
+            .try_upload(SimTime::from_secs(30), false)
             .expect("small batch uploads without wifi");
-        assert_eq!(records, 2);
-        assert!(bytes < 70, "compression must shrink the batch: {bytes}");
+        assert_eq!(up.records, 2);
+        assert!(
+            (up.payload.len() as u64) < 2 * RAW_RECORD_BYTES,
+            "codec must beat the raw rows: {} bytes",
+            up.payload.len()
+        );
         assert_eq!(u.pending_records(), 0);
     }
 
     #[test]
     fn large_batches_wait_for_wifi() {
-        let mut u = Uploader::new();
-        for _ in 0..3000 {
-            u.enqueue(35); // 105 KB > threshold
+        let mut u = Uploader::new(DeviceId(9));
+        for i in 0..3000 {
+            u.enqueue(&record(i * 30)); // 105 KB raw > threshold
         }
         assert!(u.try_upload(SimTime::from_secs(1), false).is_none());
         assert_eq!(u.pending_records(), 3000);
-        let (records, _) = u
+        let up = u
             .try_upload(SimTime::from_secs(2), true)
             .expect("wifi flushes");
-        assert_eq!(records, 3000);
+        assert_eq!(up.records, 3000);
+    }
+
+    #[test]
+    fn payload_is_a_decodable_wire_batch() {
+        let mut u = Uploader::new(DeviceId(9));
+        u.enqueue(&record(5));
+        u.enqueue(&record(65));
+        let up = u.try_upload(SimTime::from_secs(100), true).unwrap();
+        let batch = decode_batch(&up.payload).expect("uploader ships valid batches");
+        assert_eq!(batch.device, DeviceId(9));
+        assert_eq!(batch.seq, up.seq);
+        assert_eq!(batch.records.len(), 2);
+        assert_eq!(batch.records[0].start, SimTime::from_secs(5));
+    }
+
+    #[test]
+    fn sequence_numbers_increase_per_flush() {
+        let mut u = Uploader::new(DeviceId(9));
+        u.enqueue(&record(1));
+        let first = u.try_upload(SimTime::from_secs(1), true).unwrap();
+        u.enqueue(&record(2));
+        let second = u.try_upload(SimTime::from_secs(2), true).unwrap();
+        assert_eq!(first.seq, 0);
+        assert_eq!(second.seq, 1);
     }
 
     #[test]
     fn empty_uploader_is_quiet() {
-        let mut u = Uploader::new();
+        let mut u = Uploader::new(DeviceId(9));
         assert!(u.try_upload(SimTime::ZERO, true).is_none());
         assert_eq!(u.uploads(), 0);
     }
 
     #[test]
-    fn totals_accumulate() {
-        let mut u = Uploader::new();
-        u.enqueue(100);
-        u.try_upload(SimTime::from_secs(1), true);
-        u.enqueue(100);
-        u.try_upload(SimTime::from_secs(2), true);
+    fn totals_accumulate_encoded_bytes() {
+        let mut u = Uploader::new(DeviceId(9));
+        u.enqueue(&record(1));
+        let a = u.try_upload(SimTime::from_secs(1), true).unwrap();
+        u.enqueue(&record(2));
+        let b = u.try_upload(SimTime::from_secs(2), true).unwrap();
         assert_eq!(u.uploaded_records(), 2);
         assert_eq!(u.uploads(), 2);
-        assert!(u.uploaded_bytes() >= 90);
+        assert_eq!(
+            u.uploaded_bytes(),
+            (a.payload.len() + b.payload.len()) as u64
+        );
     }
 }

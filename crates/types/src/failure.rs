@@ -66,6 +66,19 @@ impl FailureKind {
         }
     }
 
+    /// Inverse of [`FailureKind::index`] — wire decoders map bytes back to
+    /// kinds through this.
+    pub const fn from_index(i: usize) -> Option<FailureKind> {
+        match i {
+            0 => Some(FailureKind::DataSetupError),
+            1 => Some(FailureKind::OutOfService),
+            2 => Some(FailureKind::DataStall),
+            3 => Some(FailureKind::SmsSendFail),
+            4 => Some(FailureKind::VoiceSetupFail),
+            _ => None,
+        }
+    }
+
     /// Paper-style label.
     pub const fn label(self) -> &'static str {
         match self {
@@ -193,6 +206,14 @@ mod tests {
             assert!(!seen[k.index()]);
             seen[k.index()] = true;
         }
+    }
+
+    #[test]
+    fn index_round_trips() {
+        for k in FailureKind::ALL {
+            assert_eq!(FailureKind::from_index(k.index()), Some(k));
+        }
+        assert_eq!(FailureKind::from_index(5), None);
     }
 
     #[test]

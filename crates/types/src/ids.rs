@@ -178,6 +178,27 @@ impl Apn {
     /// All APN kinds.
     pub const ALL: [Apn; 4] = [Apn::Internet, Apn::Ims, Apn::Mms, Apn::Supl];
 
+    /// Stable array index (0..4).
+    pub const fn index(self) -> usize {
+        match self {
+            Apn::Internet => 0,
+            Apn::Ims => 1,
+            Apn::Mms => 2,
+            Apn::Supl => 3,
+        }
+    }
+
+    /// Inverse of [`Apn::index`].
+    pub const fn from_index(i: usize) -> Option<Apn> {
+        match i {
+            0 => Some(Apn::Internet),
+            1 => Some(Apn::Ims),
+            2 => Some(Apn::Mms),
+            3 => Some(Apn::Supl),
+            _ => None,
+        }
+    }
+
     /// Conventional APN string.
     pub const fn name(self) -> &'static str {
         match self {
@@ -212,6 +233,14 @@ mod tests {
         // §3.3: median frequency ISP-B > ISP-C > ISP-A.
         assert!(Isp::B.median_freq_mhz() > Isp::C.median_freq_mhz());
         assert!(Isp::C.median_freq_mhz() > Isp::A.median_freq_mhz());
+    }
+
+    #[test]
+    fn apn_index_round_trip() {
+        for apn in Apn::ALL {
+            assert_eq!(Apn::from_index(apn.index()), Some(apn));
+        }
+        assert_eq!(Apn::from_index(4), None);
     }
 
     #[test]

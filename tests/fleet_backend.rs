@@ -29,8 +29,14 @@ fn run_fleet(devices: u32, hours: u64, seed: u64) -> Backend {
         let mut queue = EventQueue::new();
         let mut sim = DeviceSim::new(cfg, &env, monitor, dev_rng.fork(2), &mut queue);
         queue.run_until(&mut sim, SimTime::from_secs(hours * 3600));
-        let records = sim.into_listener().into_records();
-        backend.ingest(DeviceId(i), records);
+        // Ship the traces the way real devices do: an end-of-run WiFi
+        // flush encodes a wire batch the backend decodes.
+        let mut monitor = sim.into_listener();
+        if let Some(up) = monitor.upload_opportunity(SimTime::from_secs(hours * 3600), true) {
+            backend
+                .ingest_encoded(&up.payload)
+                .expect("uploader ships decodable batches");
+        }
     }
     backend
 }

@@ -1,0 +1,151 @@
+//! End-to-end ingestion pipeline: fleet traces → wire batches → sharded
+//! collector → aggregate, checked for thread-count-invariant digests,
+//! checkpoint/restore transparency, and conservation of every record.
+
+use cellrel::ingest::codec::encode_batch;
+use cellrel::ingest::{
+    restore_checkpoint, run_ingest, save_checkpoint, Collector, CollectorConfig,
+};
+use cellrel::types::{DeviceId, FailureEvent};
+use cellrel::workload::{run_macro_study_streaming, PopulationConfig, StudyConfig};
+
+fn fleet_cfg() -> StudyConfig {
+    StudyConfig {
+        population: PopulationConfig {
+            devices: 1_500,
+            ..Default::default()
+        },
+        days: 14,
+        bs_count: 500,
+        seed: 2021,
+    }
+}
+
+/// Encode the fleet's traces exactly as device uploaders would: per-device
+/// batches of at most `cap` records with increasing sequence numbers.
+fn encode_fleet(cfg: &StudyConfig, cap: usize) -> (Vec<Vec<u8>>, u64, u64) {
+    let mut batches = Vec::new();
+    let mut records = 0u64;
+    let mut noise = 0u64;
+    let mut cur: Option<DeviceId> = None;
+    let mut seq = 0u64;
+    let mut buf: Vec<FailureEvent> = Vec::new();
+    run_macro_study_streaming(cfg, |e| {
+        if cur != Some(e.device) {
+            if let Some(d) = cur {
+                if !buf.is_empty() {
+                    batches.push(encode_batch(d, seq, &buf));
+                    buf.clear();
+                }
+            }
+            cur = Some(e.device);
+            seq = 0;
+        }
+        buf.push(*e);
+        records += 1;
+        if e.cause_is_false_positive() {
+            noise += 1;
+        }
+        if buf.len() >= cap {
+            batches.push(encode_batch(e.device, seq, &buf));
+            seq += 1;
+            buf.clear();
+        }
+    });
+    if let (Some(d), false) = (cur, buf.is_empty()) {
+        batches.push(encode_batch(d, seq, &buf));
+    }
+    (batches, records, noise)
+}
+
+#[test]
+fn digests_are_identical_at_1_2_and_8_workers() {
+    let (batches, records, _) = encode_fleet(&fleet_cfg(), 48);
+    assert!(records > 10_000, "fleet produced only {records} records");
+
+    let run = |workers: usize| {
+        let cfg = CollectorConfig {
+            workers,
+            ..CollectorConfig::default()
+        };
+        run_ingest(&cfg, |emit| {
+            for b in &batches {
+                emit(b.clone());
+            }
+        })
+    };
+
+    let base = run(1);
+    let base_report = base.report();
+    assert_eq!(base_report.counters.records, records);
+    assert_eq!(base_report.counters.decode_errors, 0);
+    assert_eq!(base_report.unroutable, 0);
+    for workers in [2usize, 8] {
+        let c = run(workers);
+        assert_eq!(c.digest(), base.digest(), "workers={workers}");
+        // Not just the digest: the complete collector state matches.
+        assert_eq!(c, base, "workers={workers}");
+    }
+}
+
+#[test]
+fn checkpoint_midway_is_transparent() {
+    let (batches, _, _) = encode_fleet(&fleet_cfg(), 48);
+    let ccfg = CollectorConfig::default();
+
+    let mut full = Collector::new(&ccfg);
+    for b in &batches {
+        full.ingest(b);
+    }
+
+    // Ingest half, checkpoint, restore in a "new process", finish.
+    let half = batches.len() / 2;
+    let mut first = Collector::new(&ccfg);
+    for b in &batches[..half] {
+        first.ingest(b);
+    }
+    let snapshot = save_checkpoint(&first);
+    drop(first);
+    let mut resumed = restore_checkpoint(&snapshot).expect("own checkpoint restores");
+    for b in &batches[half..] {
+        resumed.ingest(b);
+    }
+
+    assert_eq!(resumed.digest(), full.digest());
+    assert_eq!(resumed, full);
+}
+
+#[test]
+fn aggregate_conserves_every_record() {
+    let (batches, records, noise) = encode_fleet(&fleet_cfg(), 48);
+    let collector = run_ingest(&CollectorConfig::default(), |emit| {
+        for b in &batches {
+            emit(b.clone());
+        }
+    });
+    let report = collector.report();
+
+    // Every wire record is accounted for: aggregated or filtered as noise.
+    assert_eq!(report.counters.records, records);
+    assert_eq!(report.counters.filtered_noise, noise);
+    assert_eq!(report.aggregate.records, records - noise);
+    assert_eq!(report.counters.batches, batches.len() as u64);
+    assert_eq!(report.counters.duplicate_batches, 0);
+
+    // The sketch and the by-kind partition both saw every kept record.
+    assert_eq!(report.aggregate.sketch_all.count(), records - noise);
+    let by_kind: u64 = report.aggregate.by_kind.iter().sum();
+    assert_eq!(by_kind, records - noise);
+
+    // Replaying the same batches is pure duplication: nothing new lands.
+    let mut twice = Collector::new(&CollectorConfig::default());
+    for b in batches.iter().chain(batches.iter()) {
+        twice.ingest(b);
+    }
+    let twice_report = twice.report();
+    assert_eq!(
+        twice_report.counters.duplicate_batches,
+        batches.len() as u64
+    );
+    assert_eq!(twice_report.aggregate.records, records - noise);
+}
