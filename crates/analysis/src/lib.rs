@@ -23,6 +23,7 @@
 //! | [`transitions`] | Figure 17 (a–f) |
 //! | [`ab`] | Figures 19–21 |
 //! | [`streaming`] | §3.1 counters as a mergeable streaming sink |
+//! | [`metrics`] | observability metrics tables (`--metrics`) |
 //! | [`render`] | text table / series rendering |
 //! | [`export`] | CSV export for downstream plotting |
 
@@ -38,6 +39,7 @@ pub mod hardware;
 pub mod headline;
 pub mod isp;
 pub mod measurement;
+pub mod metrics;
 pub mod per_model;
 pub mod per_rat;
 pub mod render;
@@ -49,6 +51,7 @@ pub mod table2;
 pub mod transitions;
 pub mod zipf;
 
+pub use metrics::render_metrics;
 pub use render::Table;
 
 #[cfg(test)]

@@ -12,7 +12,11 @@
 //! `--threads N` (0 = auto), `--hours H` (fault horizon, default 6),
 //! `--replay ID` (run one scenario and print its violations),
 //! `--csv DIR` (write summary + violations CSV into DIR),
-//! `--fail-on-violation` (exit 1 if any invariant fails).
+//! `--fail-on-violation` (exit 1 if any invariant fails),
+//! `--metrics` (run with telemetry attached and print the metrics tables
+//! plus a thread-count-invariant `registry digest:` line),
+//! `--trace-out FILE` (implies `--metrics`; write device spans — stall
+//! recoveries, OOS outages — as Chrome trace-event JSON for Perfetto).
 //!
 //! The final `digest: <hex>` line is the campaign's content digest: it is
 //! identical at any thread count and across re-runs — CI compares it to
@@ -22,8 +26,11 @@ use cellrel::analysis::export::{
     campaign_coverage_table, campaign_summary_csv, campaign_summary_table, campaign_violations_csv,
     campaign_violations_table,
 };
+use cellrel::analysis::render_metrics;
 use cellrel::types::SimDuration;
-use cellrel::workload::{replay_scenario, run_chaos_campaign, ChaosConfig, ChaosScenario};
+use cellrel::workload::{
+    replay_scenario, run_chaos_campaign, run_chaos_campaign_metrics, ChaosConfig, ChaosScenario,
+};
 
 fn parse_flag<T: std::str::FromStr>(args: &mut Vec<String>, flag: &str) -> Option<T> {
     let pos = args.iter().position(|a| a == flag)?;
@@ -53,6 +60,12 @@ fn main() {
     }
     let replay = parse_flag::<u64>(&mut args, "--replay");
     let csv_dir = parse_flag::<String>(&mut args, "--csv");
+    let trace_out = parse_flag::<String>(&mut args, "--trace-out");
+    let mut metrics = trace_out.is_some();
+    if let Some(pos) = args.iter().position(|a| a == "--metrics") {
+        args.remove(pos);
+        metrics = true;
+    }
     let fail_on_violation = if let Some(pos) = args.iter().position(|a| a == "--fail-on-violation")
     {
         args.remove(pos);
@@ -99,7 +112,12 @@ fn main() {
             cfg.threads.to_string()
         },
     );
-    let report = run_chaos_campaign(&cfg);
+    let (report, metrics_snap) = if metrics {
+        let (report, snap) = run_chaos_campaign_metrics(&cfg, trace_out.is_some());
+        (report, Some(snap))
+    } else {
+        (run_chaos_campaign(&cfg), None)
+    };
 
     print!("{}", campaign_summary_table(&report).render());
     println!();
@@ -128,6 +146,18 @@ fn main() {
         )
         .expect("write violations csv");
         eprintln!("chaos: CSV written to {}", dir.display());
+    }
+
+    if let Some(snap) = &metrics_snap {
+        println!();
+        print!("{}", render_metrics(snap));
+        if let Some(path) = &trace_out {
+            std::fs::write(path, snap.trace_sink().to_chrome_json()).expect("write trace file");
+            eprintln!(
+                "chaos: wrote Chrome trace to {path} ({} events)",
+                snap.trace().len()
+            );
+        }
     }
 
     println!("digest: {:016x}", report.digest());

@@ -11,7 +11,11 @@
 //! Flags: `--devices N` (default 10,000), `--days D` (default 30),
 //! `--seed S` (default 2021), `--threads T` (0 = auto), `--batch B`
 //! (max records per upload batch, default 64), `--verify` (re-run the
-//! collector at 1, 2 and 8 workers and fail unless all digests match).
+//! collector at 1, 2 and 8 workers and fail unless all digests match),
+//! `--metrics` (print the metrics tables: pipeline counters, a checkpoint
+//! save/restore round trip, fleet counters from the generated stream, and
+//! the `registry digest:` line), `--trace-out FILE` (implies `--metrics`;
+//! write each generated failure as a Chrome trace-event span).
 //!
 //! The final `digest: <hex>` line is a content digest of the complete
 //! collector state. It is bit-identical at any worker count and across
@@ -28,10 +32,15 @@
 // benches are outside the workspace-wide Instant/SystemTime gate.
 #![allow(clippy::disallowed_types)]
 
+use cellrel::analysis::render_metrics;
 use cellrel::ingest::codec::{encode_batch, RAW_RECORD_BYTES};
-use cellrel::ingest::{run_ingest, Collector, CollectorConfig};
+use cellrel::ingest::{
+    restore_checkpoint_with, run_ingest, save_checkpoint_with, Collector, CollectorConfig,
+};
+use cellrel::sim::{Merge, Telemetry};
 use cellrel::types::{DeviceId, FailureEvent};
-use cellrel::workload::{run_macro_study_streaming, PopulationConfig, StudyConfig};
+use cellrel::workload::study::EventSink;
+use cellrel::workload::{run_macro_study_streaming, FleetMetrics, PopulationConfig, StudyConfig};
 use std::time::Instant;
 
 fn parse_flag<T: std::str::FromStr>(args: &mut Vec<String>, flag: &str) -> Option<T> {
@@ -60,6 +69,12 @@ fn main() {
     } else {
         false
     };
+    let trace_out = parse_flag::<String>(&mut args, "--trace-out");
+    let mut metrics = trace_out.is_some();
+    if let Some(pos) = args.iter().position(|a| a == "--metrics") {
+        args.remove(pos);
+        metrics = true;
+    }
     assert!(args.is_empty(), "unrecognised arguments: {args:?}");
 
     let cfg = StudyConfig {
@@ -79,11 +94,24 @@ fn main() {
     let t0 = Instant::now();
     let mut batches: Vec<Vec<u8>> = Vec::new();
     let mut records = 0u64;
+    // Under `--metrics`, mirror the generated stream into a fleet sink so
+    // the report also covers what was *offered* to the pipeline (and, with
+    // `--trace-out`, each failure's sim-time span).
+    let mut fleet = metrics.then(|| {
+        if trace_out.is_some() {
+            FleetMetrics::with_trace()
+        } else {
+            FleetMetrics::new()
+        }
+    });
     {
         let mut cur: Option<DeviceId> = None;
         let mut seq = 0u64;
         let mut buf: Vec<FailureEvent> = Vec::new();
         run_macro_study_streaming(&cfg, |e| {
+            if let Some(f) = fleet.as_mut() {
+                f.record(e);
+            }
             if cur != Some(e.device) {
                 if let Some(d) = cur {
                     if !buf.is_empty() {
@@ -167,6 +195,33 @@ fn main() {
                 std::process::exit(1);
             }
             eprintln!("ingest: digest stable at {workers} worker(s)");
+        }
+    }
+
+    if metrics {
+        let tele = Telemetry::enabled();
+        collector.record_metrics(&tele);
+        // Exercise the instrumented checkpoint path: save, restore, and
+        // confirm the round trip preserves the collector digest.
+        let bytes = save_checkpoint_with(&collector, &tele);
+        let restored = restore_checkpoint_with(&bytes, &tele).expect("checkpoint round trip");
+        assert_eq!(
+            restored.digest(),
+            report.digest,
+            "checkpoint round trip changed the collector digest"
+        );
+        let mut snap = tele.snapshot();
+        if let Some(f) = &fleet {
+            snap.merge(f.snapshot());
+        }
+        println!();
+        print!("{}", render_metrics(&snap));
+        if let Some(path) = &trace_out {
+            std::fs::write(path, snap.trace_sink().to_chrome_json()).expect("write trace file");
+            eprintln!(
+                "ingest: wrote Chrome trace to {path} ({} events)",
+                snap.trace().len()
+            );
         }
     }
 

@@ -12,6 +12,13 @@
 //!
 //! `repro export-csv <dir>` additionally writes the full event dataset and
 //! per-device counts as CSV into `<dir>` for external plotting.
+//!
+//! Observability: `--metrics` appends the fleet metrics tables (counters
+//! per kind/RAT/fault layer, per-kind duration histograms) and the
+//! `registry digest:` line, which is bit-identical at any `--threads`
+//! value; `--trace-out FILE` (implies `--metrics`) additionally writes
+//! every failure as a Chrome trace-event span, loadable in Perfetto or
+//! `chrome://tracing`.
 
 use cellrel::analysis as an;
 use cellrel::sim::SimRng;
@@ -54,6 +61,21 @@ fn main() {
             .expect("--threads needs a number");
         std::env::set_var(cellrel::sim::par::THREADS_ENV, n.to_string());
         raw.drain(pos..pos + 2);
+    }
+    let mut metrics = false;
+    if let Some(pos) = raw.iter().position(|w| w == "--metrics") {
+        raw.remove(pos);
+        metrics = true;
+    }
+    let mut trace_out: Option<String> = None;
+    if let Some(pos) = raw.iter().position(|w| w == "--trace-out") {
+        let file = raw
+            .get(pos + 1)
+            .cloned()
+            .expect("--trace-out needs a file path");
+        raw.drain(pos..pos + 2);
+        trace_out = Some(file);
+        metrics = true;
     }
     let mut wanted = raw;
     if wanted.is_empty() || wanted.iter().any(|w| w == "all") {
@@ -152,6 +174,20 @@ fn main() {
             "timp" => println!("{}", timp_report()),
             "overhead" => println!("{}", overhead_report()),
             other => eprintln!("unknown experiment id: {other}"),
+        }
+    }
+
+    if metrics {
+        eprintln!("repro: running fleet metrics pass ...");
+        let (snap, devices) = cellrel::workload::run_fleet_metrics(&cfg, 0, trace_out.is_some());
+        eprintln!("repro: fleet metrics over {devices} devices");
+        print!("{}", an::metrics::render_metrics(&snap));
+        if let Some(path) = trace_out {
+            std::fs::write(&path, snap.trace_sink().to_chrome_json()).expect("write trace file");
+            eprintln!(
+                "repro: wrote Chrome trace to {path} ({} events)",
+                snap.trace().len()
+            );
         }
     }
 }

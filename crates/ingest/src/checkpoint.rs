@@ -228,6 +228,33 @@ pub fn restore_checkpoint(bytes: &[u8]) -> Result<Collector, DecodeError> {
     })
 }
 
+/// [`save_checkpoint`] with telemetry: counts the save and the encoded
+/// bytes under `ingest.checkpoint.*`.
+pub fn save_checkpoint_with(c: &Collector, tele: &cellrel_sim::Telemetry) -> Vec<u8> {
+    let bytes = save_checkpoint(c);
+    tele.inc("ingest.checkpoint.save");
+    tele.add("ingest.checkpoint.save_bytes", bytes.len() as u64);
+    bytes
+}
+
+/// [`restore_checkpoint`] with telemetry: counts successful restores and
+/// typed-error rejections under `ingest.checkpoint.*`.
+pub fn restore_checkpoint_with(
+    bytes: &[u8],
+    tele: &cellrel_sim::Telemetry,
+) -> Result<Collector, DecodeError> {
+    match restore_checkpoint(bytes) {
+        Ok(c) => {
+            tele.inc("ingest.checkpoint.restore");
+            Ok(c)
+        }
+        Err(e) => {
+            tele.inc("ingest.checkpoint.restore_error");
+            Err(e)
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

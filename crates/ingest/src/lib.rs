@@ -35,7 +35,9 @@ pub mod codec;
 pub mod collector;
 pub mod sketch;
 
-pub use checkpoint::{restore_checkpoint, save_checkpoint};
+pub use checkpoint::{
+    restore_checkpoint, restore_checkpoint_with, save_checkpoint, save_checkpoint_with,
+};
 pub use codec::{decode_batch, encode_batch, peek_device, DecodeError, WireBatch};
 pub use collector::{
     run_ingest, Collector, CollectorConfig, IngestAggregate, IngestCounters, IngestReport,

@@ -1,338 +1,11 @@
-//! Mergeable streaming quantile sketches for failure durations.
+//! Mergeable streaming quantile sketches — re-exported from
+//! [`cellrel_sim::sketch`].
 //!
-//! The analysis layer draws per-kind duration CDFs (Figs. 4, 6–7, 10) and
-//! headline percentiles. Materialising every duration sample defeats the
-//! constant-memory goal, so the backend summarises each duration stream
-//! with a [`QuantileSketch`] instead.
-//!
-//! **Why not KLL/GK/CKMS?** Those sketches give tight worst-case rank
-//! bounds, but their compaction state depends on the order items and merges
-//! happen — two shard layouts of the same stream can produce different
-//! internal states and (slightly) different quantile answers. The ingest
-//! pipeline's headline guarantee is a *bit-identical aggregate digest at
-//! any worker count*, so we use a sketch whose merge is exactly
-//! commutative and associative: a logarithmically-bucketed rank histogram
-//! (HDR-histogram style). Bucket counts add like integers, so any shard
-//! order, any merge tree, and any thread count produce the same bytes.
-//!
-//! Resolution: values below [`LINEAR_MAX`] get exact unit buckets; above,
-//! each power-of-two octave is split into [`SUBBUCKETS`] equal slots, so
-//! the relative value error of any reported quantile is at most
-//! `1/SUBBUCKETS` ≈ 0.78 %. On the continuous duration distributions the
-//! fleet produces, that value resolution translates into well under 1 %
-//! rank error for the headline percentiles (asserted against exact
-//! materialised values in the analysis tests).
-//!
-//! Memory is constant: `BUCKETS` u64 slots (~58 KiB) regardless of how many
-//! billions of samples stream through.
+//! The sketch implementation began life here (the ingest aggregate was its
+//! first customer) but moved into `cellrel-sim` when the telemetry layer
+//! needed the same log-bucketed histogram for sim-time duration metrics:
+//! `cellrel-ingest` depends on `cellrel-sim`, not the other way round, so
+//! the shared primitive lives in the lower crate. This module keeps every
+//! historical `cellrel_ingest::sketch::*` path compiling.
 
-use cellrel_sim::{Digest64, Merge};
-
-/// Sub-buckets per power-of-two octave (the relative-error knob).
-pub const SUBBUCKETS: u64 = 128;
-const SUB_SHIFT: u32 = 7; // log2(SUBBUCKETS)
-/// Values `< LINEAR_MAX` get an exact bucket each.
-pub const LINEAR_MAX: u64 = SUBBUCKETS;
-/// Number of octaves above the linear region for the full `u64` range.
-const OCTAVES: usize = 64 - SUB_SHIFT as usize;
-/// Total bucket count.
-pub const BUCKETS: usize = LINEAR_MAX as usize + OCTAVES * SUBBUCKETS as usize;
-
-/// A mergeable, deterministic streaming quantile sketch over `u64` values
-/// (the workspace uses integer milliseconds).
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct QuantileSketch {
-    count: u64,
-    min: u64,
-    max: u64,
-    buckets: Box<[u64; BUCKETS]>,
-}
-
-impl Default for QuantileSketch {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
-/// Bucket index for a value.
-#[inline]
-fn bucket_of(v: u64) -> usize {
-    if v < LINEAR_MAX {
-        return v as usize;
-    }
-    // Octave = floor(log2 v) − SUB_SHIFT ≥ 0; slot = the top SUB_SHIFT bits
-    // below the leading one.
-    let octave = (63 - v.leading_zeros()) - SUB_SHIFT;
-    let slot = (v >> octave) - SUBBUCKETS;
-    LINEAR_MAX as usize + (octave as usize) * SUBBUCKETS as usize + slot as usize
-}
-
-/// The lower edge of a bucket (inverse of [`bucket_of`] up to resolution).
-#[inline]
-fn bucket_low(i: usize) -> u64 {
-    if i < LINEAR_MAX as usize {
-        return i as u64;
-    }
-    let rel = i - LINEAR_MAX as usize;
-    let octave = (rel / SUBBUCKETS as usize) as u32;
-    let slot = (rel % SUBBUCKETS as usize) as u64;
-    (SUBBUCKETS + slot) << octave
-}
-
-/// Exclusive upper edge of a bucket.
-#[inline]
-fn bucket_high(i: usize) -> u64 {
-    if i < LINEAR_MAX as usize {
-        return i as u64 + 1;
-    }
-    let rel = i - LINEAR_MAX as usize;
-    let octave = (rel / SUBBUCKETS as usize) as u32;
-    bucket_low(i).saturating_add(1u64 << octave)
-}
-
-impl QuantileSketch {
-    /// An empty sketch.
-    pub fn new() -> Self {
-        QuantileSketch {
-            count: 0,
-            min: u64::MAX,
-            max: 0,
-            buckets: Box::new([0; BUCKETS]),
-        }
-    }
-
-    /// Absorb one value.
-    pub fn push(&mut self, v: u64) {
-        self.count += 1;
-        self.min = self.min.min(v);
-        self.max = self.max.max(v);
-        self.buckets[bucket_of(v)] += 1;
-    }
-
-    /// Samples absorbed.
-    pub fn count(&self) -> u64 {
-        self.count
-    }
-
-    /// Smallest absorbed value (`None` when empty).
-    pub fn min(&self) -> Option<u64> {
-        (self.count > 0).then_some(self.min)
-    }
-
-    /// Largest absorbed value (`None` when empty).
-    pub fn max(&self) -> Option<u64> {
-        (self.count > 0).then_some(self.max)
-    }
-
-    /// The value at quantile `q ∈ [0, 1]` (`None` when empty).
-    ///
-    /// Returns a representative of the bucket containing the target rank:
-    /// exact for values below [`LINEAR_MAX`], the bucket midpoint above —
-    /// so the reported value is within `1/SUBBUCKETS` of a true order
-    /// statistic at that rank. Clamped into `[min, max]`.
-    pub fn quantile(&self, q: f64) -> Option<u64> {
-        if self.count == 0 {
-            return None;
-        }
-        let q = q.clamp(0.0, 1.0);
-        // Target rank in 1..=count ("the ⌈qn⌉-th smallest").
-        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
-        let mut cum = 0u64;
-        for (i, &c) in self.buckets.iter().enumerate() {
-            cum += c;
-            if cum >= target {
-                let v = if i < LINEAR_MAX as usize {
-                    i as u64
-                } else {
-                    let (lo, hi) = (bucket_low(i), bucket_high(i));
-                    lo + (hi - lo) / 2
-                };
-                return Some(v.clamp(self.min, self.max));
-            }
-        }
-        Some(self.max) // unreachable in practice: counts sum to `count`
-    }
-
-    /// Exact number of absorbed values `< v`'s bucket lower edge — the rank
-    /// machinery quality tests use.
-    pub fn rank_below_bucket_of(&self, v: u64) -> u64 {
-        self.buckets[..bucket_of(v)].iter().sum()
-    }
-
-    /// Fold the sketch into a content digest: count, min, max, then every
-    /// non-empty bucket as an (index, count) pair.
-    pub fn absorb_into(&self, d: &mut Digest64) {
-        d.write_u64(self.count);
-        d.write_u64(if self.count > 0 { self.min } else { 0 });
-        d.write_u64(self.max);
-        for (i, &c) in self.buckets.iter().enumerate() {
-            if c != 0 {
-                d.write_u64(i as u64);
-                d.write_u64(c);
-            }
-        }
-    }
-
-    /// Non-empty `(bucket index, count)` pairs in index order — the sparse
-    /// form checkpoints serialize.
-    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
-        self.buckets
-            .iter()
-            .enumerate()
-            .filter(|(_, &c)| c != 0)
-            .map(|(i, &c)| (i, c))
-    }
-
-    /// Rebuild from the sparse form (inverse of [`Self::nonzero_buckets`],
-    /// with min/max carried separately). Returns `None` if an index is out
-    /// of range or the counts overflow.
-    pub fn from_parts(
-        min: u64,
-        max: u64,
-        pairs: impl IntoIterator<Item = (usize, u64)>,
-    ) -> Option<Self> {
-        let mut s = QuantileSketch::new();
-        for (i, c) in pairs {
-            if i >= BUCKETS {
-                return None;
-            }
-            s.buckets[i] = s.buckets[i].checked_add(c)?;
-            s.count = s.count.checked_add(c)?;
-        }
-        if s.count > 0 {
-            s.min = min;
-            s.max = max;
-        }
-        Some(s)
-    }
-}
-
-impl Merge for QuantileSketch {
-    fn merge(&mut self, other: Self) {
-        self.count += other.count;
-        self.min = self.min.min(other.min);
-        self.max = self.max.max(other.max);
-        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
-            *a += b;
-        }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn bucket_edges_are_consistent() {
-        for v in [0u64, 1, 127, 128, 129, 255, 256, 1000, 60_000, u64::MAX] {
-            let i = bucket_of(v);
-            assert!(i < BUCKETS, "index {i} for {v}");
-            assert!(bucket_low(i) <= v, "low edge of {i} above {v}");
-            assert!(
-                v < bucket_high(i) || bucket_high(i) == u64::MAX,
-                "{v} outside bucket {i}"
-            );
-        }
-        // Linear region is exact.
-        for v in 0..LINEAR_MAX {
-            assert_eq!(bucket_low(bucket_of(v)), v);
-        }
-    }
-
-    #[test]
-    fn relative_error_is_bounded() {
-        for v in [200u64, 5_000, 123_456, 90_000_000, 1 << 40] {
-            let i = bucket_of(v);
-            let mid = bucket_low(i) + (bucket_high(i) - bucket_low(i)) / 2;
-            let err = (mid as f64 - v as f64).abs() / v as f64;
-            assert!(err <= 1.0 / SUBBUCKETS as f64, "err {err} at {v}");
-        }
-    }
-
-    #[test]
-    fn quantiles_of_a_uniform_ramp() {
-        let mut s = QuantileSketch::new();
-        for v in 1..=100_000u64 {
-            s.push(v);
-        }
-        for (q, expect) in [(0.5, 50_000.0), (0.9, 90_000.0), (0.99, 99_000.0)] {
-            let got = s.quantile(q).unwrap() as f64;
-            assert!(
-                (got - expect).abs() / expect < 0.01,
-                "q={q}: got {got}, expect {expect}"
-            );
-        }
-        assert_eq!(s.quantile(0.0), Some(1));
-        assert_eq!(s.quantile(1.0), Some(s.max().unwrap()));
-    }
-
-    #[test]
-    fn small_values_are_exact() {
-        let mut s = QuantileSketch::new();
-        for v in [3u64, 3, 3, 7, 9] {
-            s.push(v);
-        }
-        assert_eq!(s.quantile(0.5), Some(3));
-        assert_eq!(s.quantile(0.8), Some(7));
-        assert_eq!(s.quantile(1.0), Some(9));
-    }
-
-    #[test]
-    fn empty_sketch_is_quiet() {
-        let s = QuantileSketch::new();
-        assert_eq!(s.count(), 0);
-        assert_eq!(s.quantile(0.5), None);
-        assert_eq!(s.min(), None);
-        assert_eq!(s.max(), None);
-    }
-
-    #[test]
-    fn merge_is_commutative_bitwise() {
-        let mut a = QuantileSketch::new();
-        let mut b = QuantileSketch::new();
-        for v in 0..5_000u64 {
-            a.push(v * 17 % 90_000);
-            b.push(v * 31 % 123_456);
-        }
-        let mut ab = a.clone();
-        ab.merge(b.clone());
-        let mut ba = b.clone();
-        ba.merge(a.clone());
-        assert_eq!(ab, ba);
-        let mut da = Digest64::new();
-        ab.absorb_into(&mut da);
-        let mut db = Digest64::new();
-        ba.absorb_into(&mut db);
-        assert_eq!(da.finish(), db.finish());
-    }
-
-    #[test]
-    fn merge_equals_single_stream() {
-        let values: Vec<u64> = (0..10_000u64).map(|v| v * v % 1_000_003).collect();
-        let mut whole = QuantileSketch::new();
-        for &v in &values {
-            whole.push(v);
-        }
-        let mut parts = QuantileSketch::new();
-        for chunk in values.chunks(777) {
-            let mut p = QuantileSketch::new();
-            for &v in chunk {
-                p.push(v);
-            }
-            parts.merge(p);
-        }
-        assert_eq!(whole, parts);
-    }
-
-    #[test]
-    fn sparse_round_trip() {
-        let mut s = QuantileSketch::new();
-        for v in [1u64, 60_000, 60_000, 91_770_000, 5] {
-            s.push(v);
-        }
-        let pairs: Vec<_> = s.nonzero_buckets().collect();
-        let r = QuantileSketch::from_parts(s.min().unwrap(), s.max().unwrap(), pairs).unwrap();
-        assert_eq!(r, s);
-        assert!(QuantileSketch::from_parts(0, 0, [(BUCKETS, 1)]).is_none());
-    }
-}
+pub use cellrel_sim::sketch::{QuantileSketch, BUCKETS, LINEAR_MAX, SUBBUCKETS};

@@ -1,13 +1,16 @@
 //! Property-based tests for the ingestion wire codec and the streaming
 //! quantile sketch: primitive roundtrips, whole-batch roundtrips on
-//! arbitrary records, totality of the decoder on hostile input, and the
-//! algebra of sketch merging.
+//! arbitrary records, totality of the decoder on hostile input, totality
+//! of checkpoint restore, and the algebra of sketch merging.
 
 use cellrel_ingest::codec::{
     crc32, decode_batch, encode_batch, peek_device, read_varint, unzigzag, write_varint, zigzag,
 };
-use cellrel_ingest::QuantileSketch;
-use cellrel_sim::Merge;
+use cellrel_ingest::{
+    restore_checkpoint, restore_checkpoint_with, save_checkpoint, Collector, CollectorConfig,
+    QuantileSketch,
+};
+use cellrel_sim::{Merge, Telemetry};
 use cellrel_types::{
     Apn, BsId, DataFailCause, DeviceId, FailureEvent, FailureKind, InSituInfo, Isp, Rat,
     SignalLevel, SimDuration, SimTime,
@@ -66,6 +69,33 @@ fn build_event(device: DeviceId, p: &RecordParts) -> FailureEvent {
             isp: Isp::from_index(isp).expect("isp < 3"),
         },
     }
+}
+
+/// Build a collector holding a few devices' worth of ingested batches, so
+/// its checkpoint bytes cover populated shards, sketches and dedup state.
+fn populated_collector(devices: u32, per_device: usize) -> Collector {
+    let cfg = CollectorConfig {
+        virtual_shards: 8,
+        ..CollectorConfig::default()
+    };
+    let mut c = Collector::new(&cfg);
+    for d in 0..devices {
+        let device = DeviceId(d);
+        let events: Vec<FailureEvent> = (0..per_device)
+            .map(|i| {
+                build_event(
+                    device,
+                    &(
+                        ((i % 5), (1000 * i as u64), (3_000 + 17 * i as u64)),
+                        ((i % 3 == 0).then_some(2157), i % 4, (i % 6) as u8, 0),
+                        (None, (d as usize) % 3),
+                    ),
+                )
+            })
+            .collect();
+        c.ingest(&encode_batch(device, 0, &events));
+    }
+    c
 }
 
 proptest! {
@@ -170,6 +200,51 @@ proptest! {
         let at = at_seed % changed.len();
         changed[at] ^= mask;
         prop_assert_ne!(crc32(&changed), before);
+    }
+
+    /// Checkpoint restore is total on truncation: every strict prefix of a
+    /// valid checkpoint is a typed error, never a panic.
+    #[test]
+    fn truncated_checkpoints_are_errors_never_panics(
+        devices in 1u32..12,
+        per_device in 1usize..8,
+        cut_seed in any::<usize>(),
+    ) {
+        let bytes = save_checkpoint(&populated_collector(devices, per_device));
+        let cut = cut_seed % bytes.len(); // strictly shorter prefix
+        prop_assert!(restore_checkpoint(&bytes[..cut]).is_err());
+    }
+
+    /// Checkpoint restore is total on corruption: a single flipped byte is
+    /// always a typed error (the CRC trailer catches payload flips; trailer
+    /// flips fail the comparison).
+    #[test]
+    fn corrupted_checkpoints_are_errors_never_panics(
+        devices in 1u32..12,
+        per_device in 1usize..8,
+        at_seed in any::<usize>(),
+        mask in 1u8..=255,
+    ) {
+        let mut bytes = save_checkpoint(&populated_collector(devices, per_device));
+        let at = at_seed % bytes.len();
+        bytes[at] ^= mask;
+        prop_assert!(restore_checkpoint(&bytes).is_err());
+    }
+
+    /// Arbitrary garbage never panics restore — with or without telemetry —
+    /// and the instrumented wrapper counts the outcome correctly.
+    #[test]
+    fn garbage_never_panics_checkpoint_restore(
+        bytes in prop::collection::vec(any::<u8>(), 0..512),
+    ) {
+        let _ = restore_checkpoint(&bytes);
+        let tele = Telemetry::enabled();
+        let result = restore_checkpoint_with(&bytes, &tele);
+        let snap = tele.snapshot();
+        match result {
+            Ok(_) => prop_assert_eq!(snap.counter("ingest.checkpoint.restore"), 1),
+            Err(_) => prop_assert_eq!(snap.counter("ingest.checkpoint.restore_error"), 1),
+        }
     }
 
     #[test]

@@ -2,10 +2,10 @@
 //! programs against.
 
 use crate::fault::FaultProfile;
-use crate::setup::run_setup;
+use crate::setup::{run_setup, setup_fail_counter};
 use crate::sim_card::SimCardState;
 use cellrel_radio::{CellView, EmmStateMachine, RiskFactors};
-use cellrel_sim::SimRng;
+use cellrel_sim::{SimRng, Telemetry};
 use cellrel_types::{Apn, DataFailCause, Rat, SimTime};
 
 /// An established data call.
@@ -46,6 +46,7 @@ pub struct Modem {
     standby: Option<CellView>,
     fault: FaultProfile,
     restart_count: u32,
+    tele: Telemetry,
 }
 
 impl Default for Modem {
@@ -66,7 +67,14 @@ impl Modem {
             standby: None,
             fault: FaultProfile::none(),
             restart_count: 0,
+            tele: Telemetry::disabled(),
         }
+    }
+
+    /// Attach a telemetry handle (disabled by default; every recording call
+    /// is then a no-op branch).
+    pub fn set_telemetry(&mut self, tele: Telemetry) {
+        self.tele = tele;
     }
 
     /// Replace the fault-injection profile.
@@ -105,6 +113,7 @@ impl Modem {
         self.set_power(false);
         self.set_power(true);
         self.restart_count += 1;
+        self.tele.inc("modem.restart");
     }
 
     /// How many times the radio was restarted.
@@ -167,6 +176,26 @@ impl Modem {
 
     /// Attempt to bring up a data call on the serving cell.
     pub fn setup_data_call(
+        &mut self,
+        apn: Apn,
+        risk: &RiskFactors,
+        now: SimTime,
+        rng: &mut SimRng,
+    ) -> Result<DataCall, DataFailCause> {
+        self.tele.inc("modem.setup.attempt");
+        match self.try_setup_data_call(apn, risk, now, rng) {
+            Ok(call) => {
+                self.tele.inc("modem.setup.ok");
+                Ok(call)
+            }
+            Err(cause) => {
+                self.tele.inc(setup_fail_counter(cause));
+                Err(cause)
+            }
+        }
+    }
+
+    fn try_setup_data_call(
         &mut self,
         apn: Apn,
         risk: &RiskFactors,
@@ -280,6 +309,7 @@ impl Modem {
             p_fail *= 0.35;
         }
         if rng.chance(p_fail.min(0.8)) {
+            self.tele.inc("modem.handover.fail");
             self.calls.clear();
             self.serving = Some(to);
             let cause = if inter_rat {
@@ -292,6 +322,7 @@ impl Modem {
             return Err(cause);
         }
 
+        self.tele.inc("modem.handover.ok");
         self.serving = Some(to);
         // Every surviving bearer rides the new cell.
         for c in &mut self.calls {

@@ -12,7 +12,7 @@ use crate::fault::FaultProfile;
 use crate::sim_card::SimCardState;
 use cellrel_radio::{EmmStateMachine, RiskFactors};
 use cellrel_sim::SimRng;
-use cellrel_types::{DataFailCause, Rat, SignalLevel};
+use cellrel_types::{DataFailCause, FailureLayer, Rat, SignalLevel};
 
 /// Outcome classification of one setup attempt, used by tests and by the
 /// monitor's bookkeeping.
@@ -88,6 +88,24 @@ pub fn run_setup(
     }
 
     Ok(())
+}
+
+/// The telemetry counter a failed setup attempt lands in, by the cause's
+/// class: false-positive causes (the stage-0 overload rejections and
+/// user-initiated teardowns the monitor filters) in one bucket, true
+/// failures by the protocol layer they originate from (stages 1–4 of the
+/// pipeline). Static labels so the hot path never allocates.
+pub fn setup_fail_counter(cause: DataFailCause) -> &'static str {
+    if cause.false_positive().is_some() {
+        return "modem.setup.fail.fp";
+    }
+    match cause.layer() {
+        FailureLayer::Physical => "modem.setup.fail.physical",
+        FailureLayer::LinkMac => "modem.setup.fail.link_mac",
+        FailureLayer::Network => "modem.setup.fail.network",
+        FailureLayer::Modem => "modem.setup.fail.modem",
+        FailureLayer::Unknown => "modem.setup.fail.unknown",
+    }
 }
 
 /// Physical-layer cause mix, conditioned on RAT and signal level.

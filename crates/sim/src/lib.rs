@@ -31,7 +31,9 @@ pub mod dist;
 pub mod par;
 pub mod queue;
 pub mod rng;
+pub mod sketch;
 pub mod stats;
+pub mod telemetry;
 
 pub use campaign::{
     run_campaign, CampaignReport, Digest64, Invariant, InvariantRegistry, ScenarioOutcome,
@@ -43,4 +45,6 @@ pub use par::{
 };
 pub use queue::{EventHandler, EventQueue, EventToken};
 pub use rng::SimRng;
+pub use sketch::QuantileSketch;
 pub use stats::{bootstrap_mean_ci, fit_zipf, linreg, percentile, Ecdf, Histogram, Summary};
+pub use telemetry::{MetricsRegistry, MetricsSnapshot, SpanGuard, Telemetry, TraceSink};

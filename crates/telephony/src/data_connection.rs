@@ -7,6 +7,7 @@
 //! `DataConnection.java` logs and drops them; we make them loud, since in a
 //! simulation they always indicate a driver bug).
 
+use cellrel_sim::Telemetry;
 use cellrel_types::{DataFailCause, SimTime};
 use std::fmt;
 
@@ -56,6 +57,18 @@ pub struct DataConnectionFsm {
     state: DcState,
     history: Vec<Transition>,
     setup_attempts: u32,
+    tele: Telemetry,
+}
+
+/// The telemetry counter for entering a state.
+fn state_counter(to: DcState) -> &'static str {
+    match to {
+        DcState::Inactive => "dc.state.inactive",
+        DcState::Activating => "dc.state.activating",
+        DcState::Retrying => "dc.state.retrying",
+        DcState::Active => "dc.state.active",
+        DcState::Disconnecting => "dc.state.disconnecting",
+    }
 }
 
 /// History ring size.
@@ -74,7 +87,14 @@ impl DataConnectionFsm {
             state: DcState::Inactive,
             history: Vec::new(),
             setup_attempts: 0,
+            tele: Telemetry::disabled(),
         }
+    }
+
+    /// Attach a telemetry handle; every transition then bumps a
+    /// `dc.state.*` counter (disabled handles cost one branch).
+    pub fn set_telemetry(&mut self, tele: Telemetry) {
+        self.tele = tele;
     }
 
     /// Current state.
@@ -102,6 +122,8 @@ impl DataConnectionFsm {
             to,
             cause,
         });
+        self.tele.inc("dc.transitions");
+        self.tele.inc(state_counter(to));
         self.state = to;
     }
 

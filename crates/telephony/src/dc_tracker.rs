@@ -97,6 +97,11 @@ impl DcTracker {
         &self.fsm
     }
 
+    /// Attach a telemetry handle to the FSM (state-transition counters).
+    pub fn set_telemetry(&mut self, tele: cellrel_sim::Telemetry) {
+        self.fsm.set_telemetry(tele);
+    }
+
     /// Current consecutive-failure streak.
     pub fn consecutive_failures(&self) -> u32 {
         self.consecutive_failures

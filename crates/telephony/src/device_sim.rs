@@ -26,7 +26,7 @@ use crate::stall::DataStallDetector;
 use cellrel_modem::Modem;
 use cellrel_netstack::{LinkCondition, NetStack};
 use cellrel_radio::{CellView, Pos, RadioEnvironment, RiskFactors};
-use cellrel_sim::{EventHandler, EventQueue, EventToken, SimRng};
+use cellrel_sim::{span, EventHandler, EventQueue, EventToken, SimRng, Telemetry};
 use cellrel_types::{
     Apn, DeviceId, InSituInfo, Isp, Rat, RatSet, ServiceState, SimDuration, SimTime,
 };
@@ -221,6 +221,7 @@ pub struct DeviceSim<'a, L: TelephonyListener> {
     sms: crate::sms::SmsService,
     voice: crate::sms::VoiceService,
     screen_active: bool,
+    tele: Telemetry,
     /// While true (the default) the world keeps injecting faults. Campaign
     /// drivers flip it off via [`DeviceSim::quiesce`] so a scenario can end
     /// in a fault-free grace period.
@@ -259,6 +260,7 @@ impl<'a, L: TelephonyListener> DeviceSim<'a, L> {
             sms: crate::sms::SmsService::new(),
             voice: crate::sms::VoiceService::new(),
             screen_active: true,
+            tele: Telemetry::disabled(),
             injection_enabled: true,
             cfg,
         };
@@ -276,6 +278,17 @@ impl<'a, L: TelephonyListener> DeviceSim<'a, L> {
             sim.schedule_screen_toggle(queue);
         }
         sim
+    }
+
+    /// Attach a telemetry handle, shared down the stack: the agent's own
+    /// event mirror, the modem's per-stage setup outcomes and the
+    /// data-connection FSM's state-transition counters all record into the
+    /// same registry. The default handle is disabled, making every
+    /// recording call a single no-op branch.
+    pub fn set_telemetry(&mut self, tele: Telemetry) {
+        self.modem.set_telemetry(tele.clone());
+        self.tracker.set_telemetry(tele.clone());
+        self.tele = tele;
     }
 
     /// The device's aggregate counters.
@@ -383,7 +396,53 @@ impl<'a, L: TelephonyListener> DeviceSim<'a, L> {
     }
 
     fn emit(&mut self, at: SimTime, ev: TelephonyEvent) {
+        if self.tele.is_enabled() {
+            self.record_event(at, &ev);
+        }
         self.listener.on_event(at, &ev);
+    }
+
+    /// Mirror one emitted telephony event into the metrics registry —
+    /// static labels only, so the mirror never allocates. Durations carried
+    /// by closing events become sim-time spans: the stall span runs from
+    /// *detection* to heal and the outage span from loss to recovery, both
+    /// exactly the quantities the paper's Figs. 4 and 10 measure.
+    fn record_event(&mut self, at: SimTime, ev: &TelephonyEvent) {
+        let tid = self.cfg.id.0 as u64;
+        match ev {
+            TelephonyEvent::DataSetupError { .. } => {
+                self.tele.inc("telephony.setup.error");
+                self.tele.instant("telephony.setup.error", at, tid);
+            }
+            TelephonyEvent::DataSetupSuccess { .. } => self.tele.inc("telephony.setup.success"),
+            TelephonyEvent::OutOfServiceBegan { .. } => self.tele.inc("telephony.oos.began"),
+            TelephonyEvent::OutOfServiceEnded { duration, .. } => {
+                self.tele.inc("telephony.oos.ended");
+                let start =
+                    SimTime::from_millis(at.as_millis().saturating_sub(duration.as_millis()));
+                span!(self.tele, "telephony.oos.outage", start, tid).end(at);
+            }
+            TelephonyEvent::DataStallSuspected { .. } => {
+                self.tele.inc("telephony.stall.suspected");
+                self.tele.instant("telephony.stall.suspected", at, tid);
+            }
+            TelephonyEvent::DataStallCleared { .. } => self.tele.inc("telephony.stall.cleared"),
+            TelephonyEvent::RecoveryActionExecuted { stage, fixed } => {
+                self.tele.inc(match stage {
+                    1 => "telephony.recovery.stage1",
+                    2 => "telephony.recovery.stage2",
+                    _ => "telephony.recovery.stage3",
+                });
+                if *fixed {
+                    self.tele.inc("telephony.recovery.fixed");
+                }
+            }
+            TelephonyEvent::ManualReset => self.tele.inc("telephony.manual_reset"),
+            TelephonyEvent::VoiceCallInterruption => self.tele.inc("telephony.voice.interruption"),
+            TelephonyEvent::RatChanged { .. } => self.tele.inc("telephony.rat.changed"),
+            TelephonyEvent::SmsSendFailed => self.tele.inc("telephony.sms.send_fail"),
+            TelephonyEvent::VoiceSetupFailed => self.tele.inc("telephony.voice.setup_fail"),
+        }
     }
 
     fn in_situ(&self, view: Option<&CellView>) -> InSituInfo {
@@ -585,6 +644,7 @@ impl<'a, L: TelephonyListener> DeviceSim<'a, L> {
             return; // not camped; the next scan will retry
         };
         let risk = self.env.risk(&view);
+        self.tele.inc("telephony.setup.attempt");
         match self
             .tracker
             .attempt_setup(&mut self.modem, &risk, now, &mut self.rng)
@@ -596,6 +656,7 @@ impl<'a, L: TelephonyListener> DeviceSim<'a, L> {
             }
             SetupVerdict::RetryAfter(delay, cause) => {
                 self.stats.setup_errors += 1;
+                self.tele.inc("telephony.setup.retry");
                 let ctx = self.in_situ(Some(&view));
                 self.emit(now, TelephonyEvent::DataSetupError { cause, ctx });
                 self.setup_pending = true;
@@ -603,6 +664,7 @@ impl<'a, L: TelephonyListener> DeviceSim<'a, L> {
             }
             SetupVerdict::GaveUp(cause) => {
                 self.stats.setup_errors += 1;
+                self.tele.inc("telephony.setup.gave_up");
                 let ctx = self.in_situ(Some(&view));
                 self.emit(now, TelephonyEvent::DataSetupError { cause, ctx });
                 // Next scan may pick a different cell and retry from scratch.
@@ -653,6 +715,15 @@ impl<'a, L: TelephonyListener> DeviceSim<'a, L> {
                 self.stats.stalls_cleared += 1;
                 let healed = ep.healed_at.unwrap_or(now).max(detected_at);
                 let duration = healed.since(detected_at);
+                // The detect→recover span — what TIMP's probation tuning
+                // shortens, and what the monitor's probing estimates.
+                span!(
+                    self.tele,
+                    "telephony.stall.recover",
+                    detected_at,
+                    self.cfg.id.0 as u64
+                )
+                .end(healed);
                 let ctx = self.in_situ(None);
                 self.emit(
                     now,

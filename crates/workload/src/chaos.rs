@@ -29,7 +29,10 @@ use cellrel_radio::{DeploymentConfig, RadioEnvironment};
 use cellrel_sim::campaign::{
     run_campaign, CampaignReport, Invariant, InvariantRegistry, ScenarioOutcome,
 };
-use cellrel_sim::{EventHandler, EventQueue, SimRng};
+use cellrel_sim::{
+    resolve_threads, run_sharded, EventHandler, EventQueue, Merge, MetricsSnapshot, SimRng,
+    Telemetry,
+};
 use cellrel_telephony::{
     DeviceConfig, DeviceSim, DeviceStats, MobilityProfile, RatPolicyKind, RecordingBoth,
     RecoveryConfig, TelephonyEvent,
@@ -500,6 +503,35 @@ pub fn run_scenario_with<F>(cfg: &ChaosConfig, id: u64, make_registry: F) -> Sce
 where
     F: Fn() -> InvariantRegistry<StepView>,
 {
+    run_scenario_instrumented(cfg, id, make_registry, Telemetry::disabled())
+}
+
+/// Run one scenario with an enabled [`Telemetry`] handle attached to the
+/// device stack; returns the outcome plus the scenario's metrics snapshot
+/// (spans become Chrome trace events when `trace` is set).
+pub fn run_scenario_telemetry(
+    cfg: &ChaosConfig,
+    id: u64,
+    trace: bool,
+) -> (ScenarioOutcome, MetricsSnapshot) {
+    let tele = Telemetry::from_flags(true, trace);
+    let outcome = run_scenario_instrumented(cfg, id, default_registry, tele.clone());
+    (outcome, tele.snapshot())
+}
+
+/// The scenario harness. The telemetry handle is scenario-local (scenarios
+/// are single-threaded units); campaign drivers fold the per-scenario
+/// snapshots, whose merge is commutative, so campaign metrics stay
+/// thread-count invariant.
+fn run_scenario_instrumented<F>(
+    cfg: &ChaosConfig,
+    id: u64,
+    make_registry: F,
+    tele: Telemetry,
+) -> ScenarioOutcome
+where
+    F: Fn() -> InvariantRegistry<StepView>,
+{
     let scenario = ChaosScenario::decode(id);
     let mut rng = SimRng::for_substream(cfg.root_seed, id);
     let mut env_rng = rng.fork(0xE);
@@ -509,6 +541,7 @@ where
     let mut queue = EventQueue::new();
     let listener = RecordingBoth::new(MonitoringService::new(device_cfg.id, rng.fork(1)));
     let mut dev = DeviceSim::new(device_cfg, &env, listener, rng.fork(2), &mut queue);
+    dev.set_telemetry(tele);
 
     let mut registry = make_registry();
     let horizon = SimTime::ZERO + cfg.horizon;
@@ -597,6 +630,36 @@ fn step_view(
 /// `cfg.threads` threads, folded into one [`CampaignReport`].
 pub fn run_chaos_campaign(cfg: &ChaosConfig) -> CampaignReport {
     run_campaign(cfg.scenarios, cfg.threads, |id| run_scenario(cfg, id))
+}
+
+/// Run the campaign with telemetry on: every scenario records into its own
+/// registry and the per-scenario [`MetricsSnapshot`]s fold into one fleet
+/// snapshot alongside the report. Snapshot merge is commutative and
+/// associative, so the folded metrics (and their digest) are identical at
+/// any thread count. With `trace` set, device spans also become Chrome
+/// trace events in the snapshot.
+pub fn run_chaos_campaign_metrics(
+    cfg: &ChaosConfig,
+    trace: bool,
+) -> (CampaignReport, MetricsSnapshot) {
+    let threads = resolve_threads(cfg.threads);
+    let parts = run_sharded(cfg.scenarios as usize, threads, |range| {
+        let mut report = CampaignReport::default();
+        let mut snap = MetricsSnapshot::default();
+        for idx in range {
+            let (outcome, s) = run_scenario_telemetry(cfg, idx as u64, trace);
+            report.absorb(outcome);
+            snap.merge(s);
+        }
+        (report, snap)
+    });
+    let mut report = CampaignReport::default();
+    let mut snap = MetricsSnapshot::default();
+    for (r, s) in parts {
+        report.merge(r);
+        snap.merge(s);
+    }
+    (report, snap)
 }
 
 /// Replay one scenario by id — byte-identical to its campaign run, because
@@ -692,6 +755,32 @@ mod tests {
         });
         assert_eq!(base, two);
         assert_eq!(base.digest(), two.digest());
+    }
+
+    #[test]
+    fn telemetry_neither_perturbs_nor_depends_on_threads() {
+        let cfg = small_cfg();
+        // Attaching telemetry must not change simulation behaviour: the
+        // plain and instrumented outcomes are identical.
+        // Scenario 6 decodes to the "storm" schedule, so stall activity —
+        // and therefore spans — is guaranteed within the 2 h horizon.
+        let plain = run_scenario(&cfg, 6);
+        let (instrumented, snap) = run_scenario_telemetry(&cfg, 6, true);
+        assert_eq!(plain, instrumented);
+        assert!(snap.counter("dc.transitions") > 0, "no dc activity seen");
+        assert!(!snap.trace().is_empty(), "tracing recorded nothing");
+        // Campaign metrics fold commutatively: identical at 1 vs 2 threads.
+        let (report1, snap1) = run_chaos_campaign_metrics(&cfg, true);
+        let (report2, snap2) = run_chaos_campaign_metrics(
+            &ChaosConfig {
+                threads: 2,
+                ..small_cfg()
+            },
+            true,
+        );
+        assert_eq!(report1, report2);
+        assert_eq!(snap1, snap2);
+        assert_eq!(snap1.digest(), snap2.digest());
     }
 
     #[test]

@@ -25,6 +25,7 @@ pub mod bs_assign;
 pub mod chaos;
 pub mod durations;
 pub mod exposure;
+pub mod fleet_metrics;
 pub mod guidelines;
 pub mod models;
 pub mod population;
@@ -33,9 +34,10 @@ pub mod study;
 pub use ab::{run_rat_policy_ab, run_recovery_ab, AbArm, AbConfig, AbOutcome};
 pub use bs_assign::BsAssigner;
 pub use chaos::{
-    default_registry, replay_scenario, run_chaos_campaign, run_scenario, run_scenario_with,
-    ChaosConfig, ChaosScenario, StepView,
+    default_registry, replay_scenario, run_chaos_campaign, run_chaos_campaign_metrics,
+    run_scenario, run_scenario_telemetry, run_scenario_with, ChaosConfig, ChaosScenario, StepView,
 };
+pub use fleet_metrics::{run_fleet_metrics, FleetMetrics};
 pub use models::{PhoneModelSpec, MODELS};
 pub use population::{DeviceProfile, Population, PopulationConfig};
 pub use study::{

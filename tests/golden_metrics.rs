@@ -1,0 +1,93 @@
+//! Golden metrics snapshot: the fleet metrics tables for a seed-2021
+//! 10k-device macro study, pinned byte-for-byte.
+//!
+//! The rendered report covers every counter (per failure kind, RAT, fault
+//! layer), every duration histogram and the registry digest, so any change
+//! to the samplers, the metric names, the sketch bucketing or the renderer
+//! surfaces here as a readable diff. When a change is *intentional*,
+//! regenerate and review:
+//!
+//! ```sh
+//! CELLREL_BLESS=1 cargo test -q --test golden_metrics
+//! git diff tests/golden/fleet_metrics_seed2021.txt
+//! ```
+
+use std::path::PathBuf;
+
+use cellrel::analysis::render_metrics;
+use cellrel::workload::{run_fleet_metrics, PopulationConfig, StudyConfig};
+
+fn config() -> StudyConfig {
+    StudyConfig {
+        seed: 2021,
+        population: PopulationConfig {
+            devices: 10_000,
+            ..Default::default()
+        },
+        bs_count: 4_000,
+        ..Default::default()
+    }
+}
+
+fn golden_path() -> PathBuf {
+    // CARGO_MANIFEST_DIR is crates/core (the facade owns the root tests/).
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden/fleet_metrics_seed2021.txt")
+}
+
+#[test]
+fn fleet_metrics_match_golden_snapshot() {
+    let (snap, devices) = run_fleet_metrics(&config(), 0, false);
+    assert_eq!(devices, 10_000);
+    let actual = render_metrics(&snap);
+    let path = golden_path();
+
+    if std::env::var_os("CELLREL_BLESS").is_some() {
+        std::fs::write(&path, &actual).expect("write golden snapshot");
+        eprintln!("blessed {}", path.display());
+        return;
+    }
+
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden snapshot {} ({e}); generate it with \
+             CELLREL_BLESS=1 cargo test -q --test golden_metrics",
+            path.display()
+        )
+    });
+    if actual != expected {
+        let mismatch = actual
+            .lines()
+            .zip(expected.lines())
+            .enumerate()
+            .find(|(_, (a, e))| a != e);
+        match mismatch {
+            Some((i, (a, e))) => panic!(
+                "golden metrics mismatch at line {}:\n  expected: {e}\n  actual:   {a}\n\
+                 if the change is intentional: CELLREL_BLESS=1 cargo test -q --test golden_metrics",
+                i + 1
+            ),
+            None => panic!(
+                "golden metrics length mismatch ({} vs {} lines); \
+                 if intentional: CELLREL_BLESS=1 cargo test -q --test golden_metrics",
+                actual.lines().count(),
+                expected.lines().count()
+            ),
+        }
+    }
+}
+
+/// The acceptance-criterion witness: the fleet registry digest is
+/// bit-identical at 1, 2 and 8 threads.
+#[test]
+fn fleet_registry_digest_thread_invariant() {
+    let (base, _) = run_fleet_metrics(&config(), 1, false);
+    for threads in [2usize, 8] {
+        let (snap, _) = run_fleet_metrics(&config(), threads, false);
+        assert_eq!(
+            snap.digest(),
+            base.digest(),
+            "fleet registry digest diverged at {threads} threads"
+        );
+        assert_eq!(snap, base, "fleet snapshot diverged at {threads} threads");
+    }
+}
