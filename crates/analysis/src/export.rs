@@ -7,6 +7,7 @@
 
 use crate::render::Table;
 use cellrel_sim::campaign::CampaignReport;
+use cellrel_store::ResultSet;
 use cellrel_types::FailureEvent;
 use cellrel_workload::{ChaosScenario, StudyDataset};
 use std::fmt::Write as _;
@@ -44,6 +45,25 @@ pub fn series_csv(x_label: &str, y_label: &str, points: &[(f64, f64)]) -> String
     let mut out = format!("{x_label},{y_label}\n");
     for (x, y) in points {
         let _ = writeln!(out, "{x},{y}");
+    }
+    out
+}
+
+/// Serialize a store query's [`ResultSet`] as CSV: one column per group-by
+/// dimension, then the metric value (formatted exactly as the text
+/// rendering formats it) and the contributing record count. Labels are
+/// controlled identifiers (no commas), so quoting rules stay trivial.
+pub fn result_set_csv(rs: &ResultSet) -> String {
+    let mut out = String::new();
+    for d in &rs.group_by {
+        let _ = write!(out, "{},", d.label());
+    }
+    let _ = writeln!(out, "{},records", rs.metric.label());
+    for row in &rs.rows {
+        for label in &row.labels {
+            let _ = write!(out, "{label},");
+        }
+        let _ = writeln!(out, "{},{}", rs.metric.format(row.value), row.count);
     }
     out
 }
@@ -174,6 +194,25 @@ mod tests {
     fn series_csv_format() {
         let csv = series_csv("seconds", "cdf", &[(1.0, 0.5), (2.0, 1.0)]);
         assert_eq!(csv, "seconds,cdf\n1,0.5\n2,1\n");
+    }
+
+    #[test]
+    fn result_set_csv_matches_the_rendered_grid() {
+        use cellrel_store::{build_sharded, DeviceDirectory, Dim, Query, StoreConfig};
+        let data = crate::testutil::dataset();
+        let dir = DeviceDirectory::from_population(&data.population);
+        let store = build_sharded(&StoreConfig::default(), &dir, &data.events, 1);
+        let rs = store
+            .query(&Query::count_by(vec![Dim::Kind, Dim::Isp]))
+            .expect("valid query");
+        let csv = result_set_csv(&rs);
+        assert_eq!(csv.lines().count(), rs.rows.len() + 1);
+        let header = csv.lines().next().expect("header");
+        assert_eq!(header, "kind,isp,count,records");
+        for line in csv.lines() {
+            assert_eq!(line.split(',').count(), 4, "bad row: {line}");
+        }
+        assert!(csv.contains("Data_Setup_Error,ISP-A,"));
     }
 
     #[test]

@@ -22,6 +22,7 @@
 //! | [`signal`] | Figures 15–16 |
 //! | [`transitions`] | Figure 17 (a–f) |
 //! | [`ab`] | Figures 19–21 |
+//! | [`store_tables`] | Tables 1–2 served from `cellrel-store` queries |
 //! | [`streaming`] | §3.1 counters as a mergeable streaming sink |
 //! | [`metrics`] | observability metrics tables (`--metrics`) |
 //! | [`render`] | text table / series rendering |
@@ -45,6 +46,7 @@ pub mod per_rat;
 pub mod render;
 pub mod signal;
 pub mod stall_recovery;
+pub mod store_tables;
 pub mod streaming;
 pub mod table1;
 pub mod table2;

@@ -13,7 +13,7 @@
 //! the per-kind CDm figures) within 1 % rank error of the exact order
 //! statistics, with bitwise thread-count-invariant state.
 
-use cellrel_ingest::QuantileSketch;
+use cellrel_sim::QuantileSketch;
 use cellrel_sim::{Merge, Summary};
 use cellrel_types::{DeviceId, FailureEvent, FailureKind};
 use cellrel_workload::EventSink;

@@ -17,7 +17,14 @@ pub struct Table1 {
 
 /// Compute Table 1 from a dataset.
 pub fn compute(data: &StudyDataset) -> Table1 {
-    let stats = per_model::compute(data);
+    from_stats(per_model::compute(data))
+}
+
+/// Build Table 1 from already-computed per-model stats — the shared tail of
+/// the batch path above and the store-query path
+/// ([`crate::store_tables::table1_from_store`]), so both produce
+/// byte-identical tables from equal stats.
+pub fn from_stats(stats: Vec<ModelStats>) -> Table1 {
     let mut p_err = 0.0;
     let mut f_err = 0.0;
     let mut n = 0usize;

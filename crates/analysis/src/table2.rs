@@ -39,6 +39,15 @@ pub fn compute(data: &StudyDataset, k: usize) -> Table2 {
             }
         }
     }
+    from_cause_counts(counts.into_iter().collect(), total, k)
+}
+
+/// Build Table 2 from per-cause counts — the shared tail of the batch path
+/// above and the store-query path
+/// ([`crate::store_tables::table2_from_store`]). Ranking is fully
+/// deterministic: descending by share, ties broken by ascending cause code,
+/// so equal counts yield byte-identical tables regardless of input order.
+pub fn from_cause_counts(counts: Vec<(DataFailCause, u64)>, total: u64, k: usize) -> Table2 {
     let mut rows: Vec<CauseRow> = counts
         .into_iter()
         .map(|(cause, n)| CauseRow {
@@ -50,7 +59,12 @@ pub fn compute(data: &StudyDataset, k: usize) -> Table2 {
                 .map(|(_, s)| *s),
         })
         .collect();
-    rows.sort_by(|a, b| b.share.partial_cmp(&a.share).expect("finite shares"));
+    rows.sort_by(|a, b| {
+        b.share
+            .partial_cmp(&a.share)
+            .expect("finite shares")
+            .then_with(|| a.cause.code().cmp(&b.cause.code()))
+    });
     let top10_share: f64 = rows.iter().take(10).map(|r| r.share).sum();
     rows.truncate(k);
     Table2 {

@@ -1,0 +1,344 @@
+//! `query` — build the analytics cube from a synthetic fleet and replay a
+//! mixed query workload against it: filters, group-bys, time windows,
+//! quantiles, top-k cuts and device-directory metrics, plus the
+//! store-served Table 1 / Table 2 adapters.
+//!
+//! ```sh
+//! cargo run --release -p cellrel-bench --bin query -- --devices 50000
+//! cargo run --release -p cellrel-bench --bin query -- --verify
+//! ```
+//!
+//! Flags: `--devices N` (default 10,000), `--days D` (default 30),
+//! `--seed S` (default 2021), `--threads T` (build threads, 0 = auto),
+//! `--partitions P` (default 16), `--rounds R` (workload repetitions,
+//! default 50), `--compact` (fold sealed buckets before querying),
+//! `--render` (print each canonical query's result table once),
+//! `--verify` (rebuild at 1, 2 and 8 threads and with compaction on, and
+//! fail unless every digest and every query answer matches), `--metrics`
+//! (print the metrics tables, including a store persist round trip).
+//!
+//! The final `digest: <hex>` line is the store's canonical content digest.
+//! It is bit-identical at any thread count, partition count, and with
+//! compaction on or off — CI compares runs to catch nondeterminism.
+//! Throughput lines (queries/s, cells scanned/query) go to stderr so the
+//! deterministic stdout can be diffed across runs.
+
+// Wall-clock is the *measurement* here (queries/s), not simulation state —
+// benches are outside the workspace-wide Instant/SystemTime gate.
+#![allow(clippy::disallowed_types)]
+
+use cellrel::analysis::store_tables::{table1_from_store, table2_from_store};
+use cellrel::analysis::{export::result_set_csv, render_metrics};
+use cellrel::sim::Telemetry;
+use cellrel::store::{
+    build_sharded, restore_store, save_store, DeviceDirectory, Dim, Filter, Metric, Query,
+    StoreConfig,
+};
+use cellrel::types::{FailureKind, Isp, Rat};
+use cellrel::workload::{run_macro_study, PopulationConfig, StudyConfig};
+use std::time::Instant;
+
+fn parse_flag<T: std::str::FromStr>(args: &mut Vec<String>, flag: &str) -> Option<T> {
+    let pos = args.iter().position(|a| a == flag)?;
+    let value = args
+        .get(pos + 1)
+        .unwrap_or_else(|| panic!("{flag} needs a value"))
+        .parse::<T>()
+        .unwrap_or_else(|_| panic!("{flag}: bad value"));
+    args.drain(pos..pos + 2);
+    Some(value)
+}
+
+fn parse_switch(args: &mut Vec<String>, flag: &str) -> bool {
+    if let Some(pos) = args.iter().position(|a| a == flag) {
+        args.remove(pos);
+        true
+    } else {
+        false
+    }
+}
+
+/// The mixed workload: one of each query shape the engine supports.
+fn workload(week_ms: u64) -> Vec<(&'static str, Query)> {
+    vec![
+        ("count_all", Query::count_by(vec![])),
+        (
+            "count_by_kind_isp",
+            Query::count_by(vec![Dim::Kind, Dim::Isp]),
+        ),
+        (
+            "weekly_setup_errors",
+            Query {
+                filters: vec![Filter::Kind(FailureKind::DataSetupError)],
+                group_by: vec![Dim::Time],
+                window_ms: week_ms,
+                metric: Metric::Count,
+                top_k: 0,
+            },
+        ),
+        (
+            "mean_duration_by_rat",
+            Query {
+                filters: vec![],
+                group_by: vec![Dim::Rat],
+                window_ms: 0,
+                metric: Metric::MeanDurationMs,
+                top_k: 0,
+            },
+        ),
+        (
+            "p95_duration_by_isp",
+            Query {
+                filters: vec![],
+                group_by: vec![Dim::Isp],
+                window_ms: 0,
+                metric: Metric::QuantileMs(0.95),
+                top_k: 0,
+            },
+        ),
+        (
+            "top5_setup_causes",
+            Query {
+                filters: vec![Filter::Kind(FailureKind::DataSetupError), Filter::HasCause],
+                group_by: vec![Dim::Cause],
+                window_ms: 0,
+                metric: Metric::Count,
+                top_k: 5,
+            },
+        ),
+        (
+            "cause_class_mix_4g",
+            Query {
+                filters: vec![Filter::Rat(Rat::G4), Filter::HasCause],
+                group_by: vec![Dim::CauseClass],
+                window_ms: 0,
+                metric: Metric::Count,
+                top_k: 0,
+            },
+        ),
+        (
+            "under_30s_share_by_region",
+            Query {
+                filters: vec![],
+                group_by: vec![Dim::Region],
+                window_ms: 0,
+                metric: Metric::Under30sShare,
+                top_k: 0,
+            },
+        ),
+        (
+            "first_week_stalls_by_isp",
+            Query {
+                filters: vec![
+                    Filter::TimeRange {
+                        start_ms: 0,
+                        end_ms: week_ms,
+                    },
+                    Filter::Kind(FailureKind::DataStall),
+                ],
+                group_by: vec![Dim::Isp],
+                window_ms: 0,
+                metric: Metric::Count,
+                top_k: 0,
+            },
+        ),
+        (
+            "devices_by_model",
+            Query {
+                filters: vec![],
+                group_by: vec![Dim::Model],
+                window_ms: 0,
+                metric: Metric::Devices,
+                top_k: 0,
+            },
+        ),
+        (
+            "failing_devices_isp_a",
+            Query {
+                filters: vec![Filter::Isp(Isp::A)],
+                group_by: vec![Dim::Region],
+                window_ms: 0,
+                metric: Metric::FailingDevices,
+                top_k: 0,
+            },
+        ),
+    ]
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let devices = parse_flag::<usize>(&mut args, "--devices").unwrap_or(10_000);
+    let days = parse_flag::<u64>(&mut args, "--days").unwrap_or(30);
+    let seed = parse_flag::<u64>(&mut args, "--seed").unwrap_or(2021);
+    let threads = parse_flag::<usize>(&mut args, "--threads").unwrap_or(0);
+    let partitions = parse_flag::<usize>(&mut args, "--partitions").unwrap_or(16);
+    let rounds = parse_flag::<usize>(&mut args, "--rounds")
+        .unwrap_or(50)
+        .max(1);
+    let compact = parse_switch(&mut args, "--compact");
+    let render = parse_switch(&mut args, "--render");
+    let verify = parse_switch(&mut args, "--verify");
+    let metrics = parse_switch(&mut args, "--metrics");
+    assert!(args.is_empty(), "unrecognised arguments: {args:?}");
+
+    let cfg = StudyConfig {
+        population: PopulationConfig {
+            devices,
+            ..Default::default()
+        },
+        days,
+        bs_count: 2_000,
+        seed,
+    };
+    let store_cfg = StoreConfig {
+        partitions,
+        ..StoreConfig::default()
+    };
+
+    eprintln!("query: generating {devices} devices over {days} days (seed {seed}) ...");
+    let t0 = Instant::now();
+    let data = run_macro_study(&cfg);
+    let dir = DeviceDirectory::from_population(&data.population);
+    eprintln!(
+        "query: {} events in {:.2} s",
+        data.events.len(),
+        t0.elapsed().as_secs_f64()
+    );
+
+    let t1 = Instant::now();
+    let mut store = build_sharded(&store_cfg, &dir, &data.events, threads);
+    let build_elapsed = t1.elapsed();
+    if compact {
+        store.compact();
+    }
+    let digest = store.digest();
+    eprintln!(
+        "query: built {} cells / {} devices in {:.2} s ({:.0} records/s); ~{:.1} bytes/cell",
+        store.cells(),
+        store.devices(),
+        build_elapsed.as_secs_f64(),
+        store.inserted() as f64 / build_elapsed.as_secs_f64().max(1e-9),
+        store.approx_cell_bytes() as f64 / store.cells().max(1) as f64,
+    );
+
+    // The deterministic face of the run: per-query row/record totals on
+    // stdout (CI diffs this), timings on stderr.
+    let week_ms = u64::from(store.config().rollup_buckets) * store.config().bucket_ms;
+    let queries = workload(week_ms);
+    let tele = if metrics {
+        Telemetry::enabled()
+    } else {
+        Telemetry::disabled()
+    };
+    for (name, q) in &queries {
+        let rs = store
+            .query_with(q, &tele)
+            .expect("workload queries are legal");
+        let matched: u64 = rs.rows.iter().map(|r| r.count).sum();
+        // Rows and record totals are compaction-invariant, so they belong to
+        // the diffable stdout; physical scan counts (which compaction *is
+        // allowed* to shrink) go to stderr.
+        println!("query {name}: {} rows, {} records", rs.rows.len(), matched);
+        eprintln!("query {name}: {} cells scanned", rs.cells_scanned);
+        if render {
+            print!("{}", rs.render());
+        }
+    }
+
+    // Table 1 / Table 2 served from the store (stdout: digest-stable).
+    let t1_store = table1_from_store(&store).expect("table1 queries are legal");
+    let t2_store = table2_from_store(&store, 10).expect("table2 queries are legal");
+    println!(
+        "table1: {} models, mean |dprev| {:.4}",
+        t1_store.stats.len(),
+        t1_store.mean_prevalence_error
+    );
+    println!(
+        "table2: {} rows over {} setup errors, top10 share {:.4}",
+        t2_store.rows.len(),
+        t2_store.total_setup_errors,
+        t2_store.top10_share
+    );
+    if render {
+        print!("{}", t1_store.render());
+        print!("{}", t2_store.render());
+    }
+
+    // Timed replay: the mixed workload, `rounds` times over.
+    let t2 = Instant::now();
+    let mut executed = 0u64;
+    let mut scanned = 0u64;
+    for _ in 0..rounds {
+        for (_, q) in &queries {
+            let rs = store
+                .query_with(q, &tele)
+                .expect("workload queries are legal");
+            executed += 1;
+            scanned += rs.cells_scanned;
+        }
+    }
+    let elapsed = t2.elapsed();
+    eprintln!(
+        "query: {executed} queries in {:.2} s ({:.0} queries/s, {:.0} cells scanned/query)",
+        elapsed.as_secs_f64(),
+        executed as f64 / elapsed.as_secs_f64().max(1e-9),
+        scanned as f64 / executed.max(1) as f64,
+    );
+
+    if verify {
+        for t in [1usize, 2, 8] {
+            let d = build_sharded(&store_cfg, &dir, &data.events, t).digest();
+            if d != digest {
+                eprintln!("query: FAIL — digest {d:016x} at {t} build threads != {digest:016x}");
+                std::process::exit(1);
+            }
+            eprintln!("query: digest stable at {t} build thread(s)");
+        }
+        let mut compacted = build_sharded(&store_cfg, &dir, &data.events, 1);
+        compacted.compact();
+        if compacted.digest() != digest {
+            eprintln!(
+                "query: FAIL — compacted digest {:016x} != {digest:016x}",
+                compacted.digest()
+            );
+            std::process::exit(1);
+        }
+        for (name, q) in &queries {
+            let a = store.query(q).expect("legal").rows;
+            let b = compacted.query(q).expect("legal").rows;
+            if a != b {
+                eprintln!("query: FAIL — '{name}' answers diverge under compaction");
+                std::process::exit(1);
+            }
+        }
+        eprintln!("query: digest and all answers stable under compaction");
+    }
+
+    if metrics {
+        // Exercise the persist path: save, restore, confirm the round trip
+        // preserves the digest, then print the metrics tables (store state,
+        // query counters/histograms).
+        let bytes = save_store(&store);
+        let restored = restore_store(&bytes).expect("store persist round trip");
+        assert_eq!(
+            restored.digest(),
+            digest,
+            "persist round trip changed the store digest"
+        );
+        eprintln!(
+            "query: persisted {} bytes ({:.1} bytes/cell), restore digest ok",
+            bytes.len(),
+            bytes.len() as f64 / store.cells().max(1) as f64,
+        );
+        store.record_metrics(&tele);
+        let snap = tele.snapshot();
+        println!();
+        print!("{}", render_metrics(&snap));
+        // CSV export of a canonical result set rides the same path CI and
+        // users consume for figures.
+        let csv = result_set_csv(&store.query(&queries[1].1).expect("legal"));
+        eprintln!("query: count_by_kind_isp CSV is {} bytes", csv.len());
+    }
+
+    println!("digest: {digest:016x}");
+}

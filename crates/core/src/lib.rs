@@ -20,6 +20,7 @@
 //! | [`telephony`] | `cellrel-telephony` | DataConnection FSM, stall detection, recovery, RAT policies, device agent |
 //! | [`monitor`] | `cellrel-monitor` | Android-MOD: filtering, probing, traces, overhead |
 //! | [`ingest`] | `cellrel-ingest` | backend ingestion: wire codec, sharded collector, sketches |
+//! | [`store`] | `cellrel-store` | embedded analytics cube: mergeable partitions, query engine |
 //! | [`timp`] | `cellrel-timp` | TIMP model + annealing optimizer |
 //! | [`workload`] | `cellrel-workload` | calibrated population, macro study, A/B drivers |
 //! | [`analysis`] | `cellrel-analysis` | per-table/figure estimators and renderers |
@@ -51,6 +52,7 @@ pub use cellrel_monitor as monitor;
 pub use cellrel_netstack as netstack;
 pub use cellrel_radio as radio;
 pub use cellrel_sim as sim;
+pub use cellrel_store as store;
 pub use cellrel_telephony as telephony;
 pub use cellrel_timp as timp;
 pub use cellrel_types as types;
@@ -73,6 +75,7 @@ mod tests {
         let _ = crate::telephony::RecoveryConfig::timp_optimized();
         let _ = crate::monitor::ProbeSession;
         let _ = crate::ingest::CollectorConfig::default();
+        let _ = crate::store::StoreConfig::default();
         let _ = crate::timp::AnnealConfig::default();
         let _ = crate::workload::StudyConfig::small();
         let _ = crate::analysis::Table::new("t", &["a"]);

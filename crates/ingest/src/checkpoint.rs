@@ -28,7 +28,7 @@
 
 use crate::codec::{crc32, read_varint, write_varint, DecodeError};
 use crate::collector::{Collector, IngestAggregate, IngestCounters, ShardState};
-use crate::sketch::QuantileSketch;
+use cellrel_sim::sketch::QuantileSketch;
 use std::collections::BTreeMap;
 
 /// Checkpoint framing magic.

@@ -28,11 +28,37 @@
 //! instead of silently skewing the stream.
 
 use crate::codec::{decode_batch, peek_device};
-use crate::sketch::QuantileSketch;
+use cellrel_sim::sketch::QuantileSketch;
 use cellrel_sim::{resolve_threads, Digest64, Merge, Telemetry};
 use cellrel_types::{DeviceId, FailureEvent, SimDuration};
 use std::collections::BTreeMap;
 use std::sync::mpsc::sync_channel;
+
+/// A consumer of the records the collector **accepts** — i.e. after batch
+/// decode, per-device sequence dedup, intra-batch duplicate collapse, and
+/// §2.1 false-positive noise filtering. Downstream consumers (the
+/// `cellrel-store` analytics cube, test capture buffers) hook in here so
+/// they observe exactly the record stream the aggregates are built from.
+///
+/// [`run_ingest_with`] keeps one sink per *virtual shard* and folds them in
+/// shard-index order, so a sink that implements `Merge` sees a
+/// deterministic observation sequence at any worker count.
+pub trait AcceptedSink {
+    /// Observe one accepted record.
+    fn accepted(&mut self, e: &FailureEvent);
+}
+
+/// The no-op sink: plain ingestion with no downstream consumer.
+impl AcceptedSink for () {
+    fn accepted(&mut self, _: &FailureEvent) {}
+}
+
+/// Capture sink for tests and replay tooling.
+impl AcceptedSink for Vec<FailureEvent> {
+    fn accepted(&mut self, e: &FailureEvent) {
+        self.push(*e);
+    }
+}
 
 /// Collector tuning knobs.
 #[derive(Debug, Clone, Copy)]
@@ -187,6 +213,12 @@ pub(crate) struct ShardState {
 impl ShardState {
     /// Decode and fold one routed batch.
     fn accept(&mut self, bytes: &[u8], lateness_ms: u64) {
+        self.accept_with(bytes, lateness_ms, &mut ());
+    }
+
+    /// Decode and fold one routed batch, echoing each accepted record into
+    /// `sink` (after dedup and noise filtering, before anything else sees it).
+    fn accept_with<S: AcceptedSink>(&mut self, bytes: &[u8], lateness_ms: u64, sink: &mut S) {
         let batch = match decode_batch(bytes) {
             Ok(b) => b,
             Err(_) => {
@@ -233,6 +265,7 @@ impl ShardState {
             }
             self.counters.records += 1;
             self.agg.push(e);
+            sink.accepted(e);
         }
         self.watermark_ms = self.watermark_ms.max(batch_max);
     }
@@ -290,6 +323,19 @@ impl Collector {
             Ok(device) => {
                 let shard = self.shard_of(device);
                 self.shards[shard].accept(bytes, self.lateness_ms);
+            }
+            Err(_) => self.unroutable += 1,
+        }
+    }
+
+    /// Ingest one encoded batch, echoing accepted records into `sink`.
+    /// Sequential counterpart of [`run_ingest_with`]; with a single shared
+    /// sink the observation order is batch arrival order.
+    pub fn ingest_with<S: AcceptedSink>(&mut self, bytes: &[u8], sink: &mut S) {
+        match peek_device(bytes) {
+            Ok(device) => {
+                let shard = self.shard_of(device);
+                self.shards[shard].accept_with(bytes, self.lateness_ms, sink);
             }
             Err(_) => self.unroutable += 1,
         }
@@ -440,62 +486,98 @@ pub fn run_ingest<F>(cfg: &CollectorConfig, produce: F) -> Collector
 where
     F: FnOnce(&mut dyn FnMut(Vec<u8>)),
 {
+    run_ingest_with(cfg, || (), produce).0
+}
+
+/// [`run_ingest`] with a downstream [`AcceptedSink`] attached.
+///
+/// `make_sink` builds one sink **per virtual shard** (created lazily on the
+/// owning worker when the shard first accepts a record); after the run the
+/// per-shard sinks are folded in shard-index order into one. Because shard
+/// routing, per-shard record order, and the fold order are all independent
+/// of the worker count, the folded sink observes the exact same
+/// deterministic sequence at 1, 2, or 8 workers — the same argument that
+/// makes [`Collector::digest`] thread-invariant.
+pub fn run_ingest_with<S, MS, F>(cfg: &CollectorConfig, make_sink: MS, produce: F) -> (Collector, S)
+where
+    S: AcceptedSink + Merge + Send,
+    MS: Fn() -> S + Sync,
+    F: FnOnce(&mut dyn FnMut(Vec<u8>)),
+{
     let vs = cfg.virtual_shards.max(1);
     let workers = resolve_threads(cfg.workers).min(vs);
-    if workers <= 1 {
-        let mut collector = Collector::new(cfg);
-        let mut emit = |bytes: Vec<u8>| collector.ingest(&bytes);
-        produce(&mut emit);
-        return collector;
-    }
-
     let lateness_ms = cfg.lateness.as_millis();
     let mut unroutable = 0u64;
     let mut shards: Vec<ShardState> = vec![ShardState::default(); vs];
+    let mut sinks: BTreeMap<u32, S> = BTreeMap::new();
 
-    std::thread::scope(|scope| {
-        let mut senders = Vec::with_capacity(workers);
-        let mut handles = Vec::with_capacity(workers);
-        for _ in 0..workers {
-            let (tx, rx) = sync_channel::<(u32, Vec<u8>)>(cfg.queue_depth.max(1));
-            senders.push(tx);
-            handles.push(scope.spawn(move || {
-                let mut owned: BTreeMap<u32, ShardState> = BTreeMap::new();
-                while let Ok((shard, bytes)) = rx.recv() {
-                    owned.entry(shard).or_default().accept(&bytes, lateness_ms);
-                }
-                owned
-            }));
-        }
-
-        // Producer runs on the caller's thread; a full worker queue blocks
-        // the send — that *is* the backpressure.
+    if workers <= 1 {
         let mut emit = |bytes: Vec<u8>| match peek_device(&bytes) {
             Ok(device) => {
                 let shard = device.0 as usize % vs;
-                senders[shard % workers]
-                    .send((shard as u32, bytes))
-                    .expect("ingest worker hung up");
+                let sink = sinks.entry(shard as u32).or_insert_with(&make_sink);
+                shards[shard].accept_with(&bytes, lateness_ms, sink);
             }
             Err(_) => unroutable += 1,
         };
         produce(&mut emit);
-        drop(senders);
-
-        for h in handles {
-            let owned = h.join().expect("ingest worker panicked");
-            for (shard, state) in owned {
-                shards[shard as usize] = state;
+    } else {
+        std::thread::scope(|scope| {
+            let make_sink = &make_sink;
+            let mut senders = Vec::with_capacity(workers);
+            let mut handles = Vec::with_capacity(workers);
+            for _ in 0..workers {
+                let (tx, rx) = sync_channel::<(u32, Vec<u8>)>(cfg.queue_depth.max(1));
+                senders.push(tx);
+                handles.push(scope.spawn(move || {
+                    let mut owned: BTreeMap<u32, (ShardState, S)> = BTreeMap::new();
+                    while let Ok((shard, bytes)) = rx.recv() {
+                        let (state, sink) = owned
+                            .entry(shard)
+                            .or_insert_with(|| (ShardState::default(), make_sink()));
+                        state.accept_with(&bytes, lateness_ms, sink);
+                    }
+                    owned
+                }));
             }
-        }
-    });
 
-    Collector {
-        virtual_shards: vs,
-        lateness_ms,
-        shards,
-        unroutable,
+            // Producer runs on the caller's thread; a full worker queue blocks
+            // the send — that *is* the backpressure.
+            let mut emit = |bytes: Vec<u8>| match peek_device(&bytes) {
+                Ok(device) => {
+                    let shard = device.0 as usize % vs;
+                    senders[shard % workers]
+                        .send((shard as u32, bytes))
+                        .expect("ingest worker hung up");
+                }
+                Err(_) => unroutable += 1,
+            };
+            produce(&mut emit);
+            drop(senders);
+
+            for h in handles {
+                let owned = h.join().expect("ingest worker panicked");
+                for (shard, (state, sink)) in owned {
+                    shards[shard as usize] = state;
+                    sinks.insert(shard, sink);
+                }
+            }
+        });
     }
+
+    let mut folded = make_sink();
+    for (_, s) in sinks {
+        folded.merge(s);
+    }
+    (
+        Collector {
+            virtual_shards: vs,
+            lateness_ms,
+            shards,
+            unroutable,
+        },
+        folded,
+    )
 }
 
 #[cfg(test)]
@@ -565,6 +647,43 @@ mod tests {
             });
             assert_eq!(par.digest(), seq.digest(), "workers={workers}");
         }
+    }
+
+    #[test]
+    fn accepted_sink_sees_the_same_stream_at_any_worker_count() {
+        let data = batches(60, 8);
+        let mut first: Option<Vec<FailureEvent>> = None;
+        for workers in [1usize, 2, 8] {
+            let cfg = CollectorConfig {
+                workers,
+                ..CollectorConfig::default()
+            };
+            let (c, sink) = run_ingest_with(&cfg, Vec::new, |emit| {
+                for b in &data {
+                    emit(b.clone());
+                }
+            });
+            // The sink observes exactly the accepted records (post-dedup,
+            // post-noise-filter), in a worker-count-independent order.
+            assert_eq!(sink.len() as u64, c.report().counters.records);
+            match &first {
+                None => first = Some(sink),
+                Some(f) => assert_eq!(&sink, f, "workers={workers}"),
+            }
+        }
+    }
+
+    #[test]
+    fn sequential_sink_skips_noise_and_duplicates() {
+        let cfg = CollectorConfig::default();
+        let mut c = Collector::new(&cfg);
+        let mut sink: Vec<FailureEvent> = Vec::new();
+        let mut noisy = ev(1, 10, 5, FailureKind::DataSetupError);
+        noisy.cause = Some(DataFailCause::InsufficientResources);
+        let keep = ev(1, 20, 5, FailureKind::DataStall);
+        let b = encode_batch(DeviceId(1), 0, &[noisy, keep, keep]);
+        c.ingest_with(&b, &mut sink);
+        assert_eq!(sink, vec![keep]);
     }
 
     #[test]

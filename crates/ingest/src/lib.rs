@@ -14,14 +14,15 @@
 //!   The device-side `Uploader` in `cellrel-monitor` ships these bytes, so
 //!   the network-overhead numbers in the monitor are measured, not
 //!   estimated with a compression fudge factor.
-//! * [`sketch`] — mergeable streaming quantile sketches for failure
-//!   durations. Bucket counts add exactly, so merges are commutative and
-//!   associative and the aggregate is bit-identical at any shard order.
 //! * [`collector`] — the sharded collector: batches route to
 //!   `device % virtual_shards`, workers behind bounded channels apply
 //!   dedup (per-device upload seq), §2.1 noise filtering, and
 //!   late/out-of-order accounting, then fold into constant-memory
 //!   aggregates whose digest is identical at 1, 2, or 8 ingest threads.
+//!   Durations are summarised with the mergeable quantile sketches from
+//!   `cellrel_sim::sketch`. Downstream consumers (the `cellrel-store`
+//!   analytics cube) attach via [`collector::AcceptedSink`] /
+//!   [`run_ingest_with`] and observe exactly the accepted record stream.
 //! * [`checkpoint`] — versioned, CRC-framed serialization of the full
 //!   collector state, so ingestion survives restarts without replay.
 //!
@@ -33,13 +34,12 @@
 pub mod checkpoint;
 pub mod codec;
 pub mod collector;
-pub mod sketch;
 
 pub use checkpoint::{
     restore_checkpoint, restore_checkpoint_with, save_checkpoint, save_checkpoint_with,
 };
 pub use codec::{decode_batch, encode_batch, peek_device, DecodeError, WireBatch};
 pub use collector::{
-    run_ingest, Collector, CollectorConfig, IngestAggregate, IngestCounters, IngestReport,
+    run_ingest, run_ingest_with, AcceptedSink, Collector, CollectorConfig, IngestAggregate,
+    IngestCounters, IngestReport,
 };
-pub use sketch::QuantileSketch;

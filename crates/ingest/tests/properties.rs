@@ -8,9 +8,8 @@ use cellrel_ingest::codec::{
 };
 use cellrel_ingest::{
     restore_checkpoint, restore_checkpoint_with, save_checkpoint, Collector, CollectorConfig,
-    QuantileSketch,
 };
-use cellrel_sim::{Merge, Telemetry};
+use cellrel_sim::{Merge, QuantileSketch, Telemetry};
 use cellrel_types::{
     Apn, BsId, DataFailCause, DeviceId, FailureEvent, FailureKind, InSituInfo, Isp, Rat,
     SignalLevel, SimDuration, SimTime,

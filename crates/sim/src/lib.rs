@@ -45,6 +45,6 @@ pub use par::{
 };
 pub use queue::{EventHandler, EventQueue, EventToken};
 pub use rng::SimRng;
-pub use sketch::QuantileSketch;
+pub use sketch::{QuantileSketch, SparseSketch};
 pub use stats::{bootstrap_mean_ci, fit_zipf, linreg, percentile, Ecdf, Histogram, Summary};
 pub use telemetry::{MetricsRegistry, MetricsSnapshot, SpanGuard, Telemetry, TraceSink};

@@ -23,8 +23,15 @@
 //! rank error for the headline percentiles (asserted against exact
 //! materialised values in the analysis tests).
 //!
-//! Memory is constant: `BUCKETS` u64 slots (~58 KiB) regardless of how many
-//! billions of samples stream through.
+//! Two representations share the bucket geometry:
+//!
+//! * [`QuantileSketch`] — dense `BUCKETS` u64 slots (~58 KiB), O(1) push;
+//!   the right shape for a handful of long-lived fleet aggregates.
+//! * [`SparseSketch`] — a sorted `(bucket, count)` vector, memory
+//!   proportional to the *distinct buckets touched*; the right shape for
+//!   the analytics cube in `cellrel-store`, which keeps one sketch per
+//!   cell across hundreds of thousands of cells. Both answer every
+//!   quantile query identically (same rank walk over the same buckets).
 
 use crate::campaign::Digest64;
 use crate::par::Merge;
@@ -91,6 +98,49 @@ fn bucket_high(i: usize) -> u64 {
     bucket_low(i).saturating_add(1u64 << octave)
 }
 
+/// The shared rank walk: the value at quantile `q` given the sketch's
+/// summary stats and its non-empty buckets in ascending index order. Both
+/// sketch representations call this, so their answers are identical by
+/// construction.
+///
+/// `q <= 0` and `q >= 1` return the *exact* recorded min/max: the interior
+/// path returns a bucket representative, and when several values share the
+/// top (or bottom) bucket the representative can differ from the true
+/// extreme even after clamping into `[min, max]`.
+fn quantile_over(
+    count: u64,
+    min: u64,
+    max: u64,
+    q: f64,
+    pairs: impl Iterator<Item = (usize, u64)>,
+) -> Option<u64> {
+    if count == 0 {
+        return None;
+    }
+    if q <= 0.0 {
+        return Some(min);
+    }
+    if q >= 1.0 {
+        return Some(max);
+    }
+    // Target rank in 1..=count ("the ⌈qn⌉-th smallest").
+    let target = ((q * count as f64).ceil() as u64).clamp(1, count);
+    let mut cum = 0u64;
+    for (i, c) in pairs {
+        cum += c;
+        if cum >= target {
+            let v = if i < LINEAR_MAX as usize {
+                i as u64
+            } else {
+                let (lo, hi) = (bucket_low(i), bucket_high(i));
+                lo + (hi - lo) / 2
+            };
+            return Some(v.clamp(min, max));
+        }
+    }
+    Some(max) // unreachable in practice: counts sum to `count`
+}
+
 impl QuantileSketch {
     /// An empty sketch.
     pub fn new() -> Self {
@@ -127,31 +177,23 @@ impl QuantileSketch {
 
     /// The value at quantile `q ∈ [0, 1]` (`None` when empty).
     ///
-    /// Returns a representative of the bucket containing the target rank:
-    /// exact for values below [`LINEAR_MAX`], the bucket midpoint above —
-    /// so the reported value is within `1/SUBBUCKETS` of a true order
-    /// statistic at that rank. Clamped into `[min, max]`.
+    /// `q <= 0` and `q >= 1` return the exact recorded min/max. Interior
+    /// quantiles return a representative of the bucket containing the
+    /// target rank: exact for values below [`LINEAR_MAX`], the bucket
+    /// midpoint above — so the reported value is within `1/SUBBUCKETS` of a
+    /// true order statistic at that rank. Clamped into `[min, max]`.
     pub fn quantile(&self, q: f64) -> Option<u64> {
-        if self.count == 0 {
-            return None;
-        }
-        let q = q.clamp(0.0, 1.0);
-        // Target rank in 1..=count ("the ⌈qn⌉-th smallest").
-        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
-        let mut cum = 0u64;
-        for (i, &c) in self.buckets.iter().enumerate() {
-            cum += c;
-            if cum >= target {
-                let v = if i < LINEAR_MAX as usize {
-                    i as u64
-                } else {
-                    let (lo, hi) = (bucket_low(i), bucket_high(i));
-                    lo + (hi - lo) / 2
-                };
-                return Some(v.clamp(self.min, self.max));
-            }
-        }
-        Some(self.max) // unreachable in practice: counts sum to `count`
+        quantile_over(
+            self.count,
+            self.min,
+            self.max,
+            q,
+            self.buckets
+                .iter()
+                .enumerate()
+                .filter(|(_, &c)| c != 0)
+                .map(|(i, &c)| (i, c)),
+        )
     }
 
     /// Exact number of absorbed values `< v`'s bucket lower edge — the rank
@@ -219,6 +261,207 @@ impl Merge for QuantileSketch {
     }
 }
 
+/// The sparse counterpart of [`QuantileSketch`]: identical bucket geometry
+/// and identical quantile answers, but storing only the buckets actually
+/// touched, as a sorted `(bucket, count)` vector.
+///
+/// A fleet duration stream touches a few hundred of the 7 424 buckets; a
+/// single analytics-cube *cell* typically touches one to three. At ~12
+/// bytes per touched bucket a sparse sketch costs tens of bytes where the
+/// dense form costs 58 KiB — the difference between a cube that fits in
+/// memory and one that does not. Push is `O(log nnz)` (binary search +
+/// insert), merge is a linear two-pointer walk, and — like the dense form —
+/// merge is exact bucket addition: commutative, associative, bit-identical
+/// at any shard order. [`SparseSketch::absorb_into`] emits the same digest
+/// stream as the dense form over the same data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SparseSketch {
+    count: u64,
+    min: u64,
+    max: u64,
+    /// Non-empty buckets, strictly ascending by index.
+    buckets: Vec<(u32, u64)>,
+}
+
+impl Default for SparseSketch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SparseSketch {
+    /// An empty sketch.
+    pub fn new() -> Self {
+        SparseSketch {
+            count: 0,
+            min: u64::MAX,
+            max: 0,
+            buckets: Vec::new(),
+        }
+    }
+
+    /// Absorb one value.
+    pub fn push(&mut self, v: u64) {
+        self.count += 1;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        let b = bucket_of(v) as u32;
+        match self.buckets.binary_search_by_key(&b, |&(i, _)| i) {
+            Ok(p) => self.buckets[p].1 += 1,
+            Err(p) => self.buckets.insert(p, (b, 1)),
+        }
+    }
+
+    /// Samples absorbed.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Smallest absorbed value (`None` when empty).
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest absorbed value (`None` when empty).
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Number of distinct buckets touched (the memory footprint knob).
+    pub fn nnz(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// The value at quantile `q ∈ [0, 1]` (`None` when empty) — same
+    /// contract and same answer as [`QuantileSketch::quantile`] over the
+    /// same data, including exact min/max at the endpoints.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        quantile_over(
+            self.count,
+            self.min,
+            self.max,
+            q,
+            self.buckets.iter().map(|&(i, c)| (i as usize, c)),
+        )
+    }
+
+    /// Non-empty `(bucket index, count)` pairs in index order.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
+        self.buckets.iter().map(|&(i, c)| (i as usize, c))
+    }
+
+    /// Fold into a content digest — byte-compatible with
+    /// [`QuantileSketch::absorb_into`] over the same data.
+    pub fn absorb_into(&self, d: &mut Digest64) {
+        d.write_u64(self.count);
+        d.write_u64(if self.count > 0 { self.min } else { 0 });
+        d.write_u64(self.max);
+        for &(i, c) in &self.buckets {
+            d.write_u64(u64::from(i));
+            d.write_u64(c);
+        }
+    }
+
+    /// Expand into the dense representation.
+    pub fn to_dense(&self) -> QuantileSketch {
+        QuantileSketch::from_parts(
+            self.min().unwrap_or(0),
+            self.max().unwrap_or(0),
+            self.nonzero_buckets(),
+        )
+        .expect("sparse buckets are in range by construction")
+    }
+
+    /// Rebuild from `(index, count)` pairs in strictly ascending index
+    /// order (min/max carried separately). Returns `None` on out-of-range
+    /// or non-ascending indices, zero counts, or count overflow — restore
+    /// paths must stay total.
+    pub fn from_parts(
+        min: u64,
+        max: u64,
+        pairs: impl IntoIterator<Item = (usize, u64)>,
+    ) -> Option<Self> {
+        let mut s = SparseSketch::new();
+        let mut prev: Option<usize> = None;
+        for (i, c) in pairs {
+            if i >= BUCKETS || c == 0 || prev.is_some_and(|p| i <= p) {
+                return None;
+            }
+            prev = Some(i);
+            s.count = s.count.checked_add(c)?;
+            s.buckets.push((i as u32, c));
+        }
+        if s.count > 0 {
+            s.min = min;
+            s.max = max;
+        }
+        Some(s)
+    }
+}
+
+impl SparseSketch {
+    /// [`Merge::merge`] without consuming the other sketch — the hot path
+    /// for query-time group accumulation, where cloning every scanned
+    /// cell's bucket vector just to consume it would dominate the scan.
+    pub fn merge_ref(&mut self, other: &SparseSketch) {
+        if other.count == 0 {
+            return;
+        }
+        self.count += other.count;
+        if self.buckets.is_empty() {
+            self.min = other.min;
+            self.max = other.max;
+            self.buckets = other.buckets.clone();
+            return;
+        }
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        // Folding a small sketch into a large accumulator is the query hot
+        // path: patch the accumulator in place instead of rebuilding its
+        // whole bucket vector per merge.
+        if other.buckets.len() * 8 <= self.buckets.len() {
+            for &(i, c) in &other.buckets {
+                match self.buckets.binary_search_by_key(&i, |&(j, _)| j) {
+                    Ok(p) => self.buckets[p].1 += c,
+                    Err(p) => self.buckets.insert(p, (i, c)),
+                }
+            }
+            return;
+        }
+        let mut merged = Vec::with_capacity(self.buckets.len() + other.buckets.len());
+        let (mut a, mut b) = (self.buckets.iter().peekable(), other.buckets.iter());
+        let mut next_b = b.next();
+        while let Some(&&(ai, ac)) = a.peek() {
+            match next_b {
+                Some(&(bi, bc)) if bi < ai => {
+                    merged.push((bi, bc));
+                    next_b = b.next();
+                }
+                Some(&(bi, bc)) if bi == ai => {
+                    merged.push((ai, ac + bc));
+                    next_b = b.next();
+                    a.next();
+                }
+                _ => {
+                    merged.push((ai, ac));
+                    a.next();
+                }
+            }
+        }
+        if let Some(&p) = next_b {
+            merged.push(p);
+        }
+        merged.extend(b.copied());
+        self.buckets = merged;
+    }
+}
+
+impl Merge for SparseSketch {
+    fn merge(&mut self, other: Self) {
+        self.merge_ref(&other);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -279,10 +522,44 @@ mod tests {
     }
 
     #[test]
+    fn quantile_endpoints_are_exact_within_a_shared_bucket() {
+        // Regression: 1000 and 1003 share one log bucket (lo 1000, hi 1004,
+        // midpoint 1002). The interior walk reports 1002 for any rank in the
+        // bucket — acceptable resolution mid-range, but quantile(1.0) must
+        // be the *exact* max and quantile(0.0) the exact min, not a
+        // midpoint that clamping cannot fix.
+        let mut s = QuantileSketch::new();
+        s.push(1000);
+        s.push(1003);
+        assert_eq!(s.quantile(0.0), Some(1000));
+        assert_eq!(s.quantile(1.0), Some(1003));
+
+        // Same at the low end: min above the bucket representative.
+        let mut t = QuantileSketch::new();
+        t.push(1001);
+        t.push(1003);
+        assert_eq!(t.quantile(0.0), Some(1001));
+        assert_eq!(t.quantile(1.0), Some(1003));
+
+        // Out-of-range q behaves like the endpoints.
+        assert_eq!(t.quantile(-0.5), Some(1001));
+        assert_eq!(t.quantile(1.5), Some(1003));
+
+        // Single-value sketches answer that value at every quantile.
+        let mut u = QuantileSketch::new();
+        u.push(987_654);
+        for q in [0.0, 0.3, 1.0] {
+            assert_eq!(u.quantile(q), Some(987_654));
+        }
+    }
+
+    #[test]
     fn empty_sketch_is_quiet() {
         let s = QuantileSketch::new();
         assert_eq!(s.count(), 0);
         assert_eq!(s.quantile(0.5), None);
+        assert_eq!(s.quantile(0.0), None);
+        assert_eq!(s.quantile(1.0), None);
         assert_eq!(s.min(), None);
         assert_eq!(s.max(), None);
     }
@@ -335,5 +612,90 @@ mod tests {
         let r = QuantileSketch::from_parts(s.min().unwrap(), s.max().unwrap(), pairs).unwrap();
         assert_eq!(r, s);
         assert!(QuantileSketch::from_parts(0, 0, [(BUCKETS, 1)]).is_none());
+    }
+
+    #[test]
+    fn sparse_sketch_matches_dense_exactly() {
+        let mut dense = QuantileSketch::new();
+        let mut sparse = SparseSketch::new();
+        for v in (0..20_000u64).map(|v| v * v % 777_777) {
+            dense.push(v);
+            sparse.push(v);
+        }
+        assert_eq!(sparse.count(), dense.count());
+        assert_eq!(sparse.min(), dense.min());
+        assert_eq!(sparse.max(), dense.max());
+        for q in [0.0, 0.01, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(sparse.quantile(q), dense.quantile(q), "q={q}");
+        }
+        let sp: Vec<_> = sparse.nonzero_buckets().collect();
+        let dp: Vec<_> = dense.nonzero_buckets().collect();
+        assert_eq!(sp, dp);
+        assert_eq!(sparse.to_dense(), dense);
+        let mut ds = Digest64::new();
+        sparse.absorb_into(&mut ds);
+        let mut dd = Digest64::new();
+        dense.absorb_into(&mut dd);
+        assert_eq!(ds.finish(), dd.finish());
+        // Far below the 7 424 dense slots — the memory argument for sparse.
+        assert!(sparse.nnz() < BUCKETS / 4, "nnz {}", sparse.nnz());
+    }
+
+    #[test]
+    fn sparse_merge_is_commutative_and_matches_single_stream() {
+        let values: Vec<u64> = (0..6_000u64).map(|v| v * 13 % 250_000).collect();
+        let mut whole = SparseSketch::new();
+        for &v in &values {
+            whole.push(v);
+        }
+        let (lo, hi) = values.split_at(1_234);
+        let mut a = SparseSketch::new();
+        let mut b = SparseSketch::new();
+        for &v in lo {
+            a.push(v);
+        }
+        for &v in hi {
+            b.push(v);
+        }
+        let mut ab = a.clone();
+        ab.merge(b.clone());
+        let mut ba = b.clone();
+        ba.merge(a.clone());
+        assert_eq!(ab, ba);
+        assert_eq!(ab, whole);
+        // Merging an empty sketch in either direction is the identity.
+        let mut e = SparseSketch::new();
+        e.merge(whole.clone());
+        assert_eq!(e, whole);
+        let mut w = whole.clone();
+        w.merge(SparseSketch::new());
+        assert_eq!(w, whole);
+    }
+
+    #[test]
+    fn sparse_from_parts_is_total() {
+        let mut s = SparseSketch::new();
+        for v in [4u64, 4, 999, 70_000] {
+            s.push(v);
+        }
+        let pairs: Vec<_> = s.nonzero_buckets().collect();
+        let r = SparseSketch::from_parts(s.min().unwrap(), s.max().unwrap(), pairs).unwrap();
+        assert_eq!(r, s);
+        // Out of range, unsorted, duplicate, and zero-count inputs are rejected.
+        assert!(SparseSketch::from_parts(0, 0, [(BUCKETS, 1)]).is_none());
+        assert!(SparseSketch::from_parts(0, 0, [(5, 1), (3, 1)]).is_none());
+        assert!(SparseSketch::from_parts(0, 0, [(5, 1), (5, 1)]).is_none());
+        assert!(SparseSketch::from_parts(0, 0, [(5, 0)]).is_none());
+        assert!(SparseSketch::from_parts(0, 0, [(1, u64::MAX), (2, 1)]).is_none());
+    }
+
+    #[test]
+    fn sparse_endpoints_are_exact_within_a_shared_bucket() {
+        let mut s = SparseSketch::new();
+        s.push(1000);
+        s.push(1003);
+        assert_eq!(s.quantile(0.0), Some(1000));
+        assert_eq!(s.quantile(1.0), Some(1003));
+        assert_eq!(SparseSketch::new().quantile(0.5), None);
     }
 }

@@ -1,0 +1,44 @@
+//! # cellrel-store
+//!
+//! An embedded, deterministic **fleet-analytics cube** over ingested
+//! telemetry — the serving layer the paper's backend needs to answer
+//! multi-dimensional reliability questions (failure rates by ISP × RAT ×
+//! model × region × fail-cause class over time, Tables 1–2, §3–§5)
+//! without a batch pass per question.
+//!
+//! Three layers:
+//!
+//! * [`cube`] — partitioned storage: records land in cells keyed by
+//!   (time bucket, kind, ISP, RAT, model, region, cause class, cause);
+//!   cells hold only mergeable partial aggregates (counts, exact duration
+//!   sums, sparse quantile sketches), so sharded builds fold with the
+//!   workspace `Merge` trait and are **bit-identical at any thread
+//!   count**. Rollup compaction folds sealed time buckets without
+//!   changing query answers, and [`Store::digest`] hashes a canonical
+//!   rolled-up view so it is invariant across threads, partition counts,
+//!   and compaction on/off.
+//! * [`query`] — the typed embedded query engine:
+//!   [`Query`] { filters, group-by, window, metric, top-k } →
+//!   [`ResultSet`], with validation that keeps every legal query
+//!   compaction-transparent.
+//! * [`persist`] — CRC-framed save/restore of the full store state,
+//!   mirroring the ingest checkpoint format discipline (total restore,
+//!   typed errors, no unbounded allocations on hostile input).
+//!
+//! Records arrive either from the simulation drivers (via the workload
+//! `EventSink`) or from the ingest collector (via its `AcceptedSink`) —
+//! [`StoreSink`] implements both over a shared [`DeviceDirectory`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cube;
+pub mod persist;
+pub mod query;
+
+pub use cube::{
+    build_sharded, Cell, CellKey, DeviceDim, DeviceDirectory, DeviceRec, Region, Store,
+    StoreConfig, StoreSink, NO_CAUSE_CLASS, NO_ISP,
+};
+pub use persist::{restore_store, save_store, PersistError};
+pub use query::{Dim, Filter, Metric, Query, QueryError, ResultRow, ResultSet};

@@ -1,0 +1,363 @@
+//! CRC-framed persistence for the store, mirroring the `cellrel-ingest`
+//! checkpoint machinery: magic + version header, LEB128 varints, sparse
+//! delta-coded sketches, and a CRC-32 trailer over everything.
+//!
+//! Restore is **total**: truncated, corrupted, or adversarial bytes return
+//! a typed [`PersistError`], never panic, and never allocate proportionally
+//! to a length claim that exceeds the input. A successful restore
+//! reproduces the saved store exactly (`==`, same digest, same query
+//! answers) — asserted by the round-trip and property tests.
+
+use crate::cube::{Cell, CellKey, DeviceRec, Store, StoreConfig};
+use cellrel_ingest::codec::{crc32, read_varint, write_varint};
+use cellrel_sim::SparseSketch;
+
+/// Leading magic of a store image.
+pub const STORE_MAGIC: [u8; 2] = *b"CS";
+/// Current format version.
+pub const STORE_VERSION: u8 = 1;
+
+/// Why a store image failed to restore.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PersistError {
+    /// Too short to hold magic, version and trailer.
+    TooShort,
+    /// Magic mismatch.
+    BadMagic,
+    /// Unsupported version byte.
+    BadVersion(u8),
+    /// CRC-32 trailer mismatch (bit rot / truncation).
+    BadCrc,
+    /// A varint ran past the end of the image.
+    Varint,
+    /// Structurally invalid image (reason attached).
+    Malformed(&'static str),
+    /// Valid image followed by unconsumed bytes.
+    TrailingBytes,
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::TooShort => write!(f, "image too short"),
+            PersistError::BadMagic => write!(f, "bad magic"),
+            PersistError::BadVersion(v) => write!(f, "unsupported store format version {v}"),
+            PersistError::BadCrc => write!(f, "CRC mismatch"),
+            PersistError::Varint => write!(f, "truncated varint"),
+            PersistError::Malformed(why) => write!(f, "malformed image: {why}"),
+            PersistError::TrailingBytes => write!(f, "trailing bytes after image"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+fn rv(bytes: &[u8], pos: &mut usize) -> Result<u64, PersistError> {
+    read_varint(bytes, pos).map_err(|_| PersistError::Varint)
+}
+
+fn rv_u8(bytes: &[u8], pos: &mut usize) -> Result<u8, PersistError> {
+    let v = rv(bytes, pos)?;
+    u8::try_from(v).map_err(|_| PersistError::Malformed("field exceeds u8"))
+}
+
+fn write_sketch(out: &mut Vec<u8>, s: &SparseSketch) {
+    write_varint(out, s.min().unwrap_or(0));
+    write_varint(out, s.max().unwrap_or(0));
+    let pairs: Vec<(usize, u64)> = s.nonzero_buckets().collect();
+    write_varint(out, pairs.len() as u64);
+    let mut prev = 0usize;
+    for (n, &(i, c)) in pairs.iter().enumerate() {
+        // First index raw, then strictly positive deltas.
+        let delta = if n == 0 { i } else { i - prev };
+        write_varint(out, delta as u64);
+        write_varint(out, c);
+        prev = i;
+    }
+}
+
+fn read_sketch(bytes: &[u8], pos: &mut usize) -> Result<SparseSketch, PersistError> {
+    let min = rv(bytes, pos)?;
+    let max = rv(bytes, pos)?;
+    let nnz = rv(bytes, pos)? as usize;
+    // Each pair costs at least two bytes; a claim beyond that is hostile.
+    if nnz > bytes.len().saturating_sub(*pos) / 2 + 1 {
+        return Err(PersistError::Malformed("sketch length exceeds input"));
+    }
+    let mut pairs = Vec::with_capacity(nnz);
+    let mut idx = 0usize;
+    for n in 0..nnz {
+        let delta = rv(bytes, pos)? as usize;
+        if n > 0 && delta == 0 {
+            return Err(PersistError::Malformed("zero sketch index delta"));
+        }
+        idx = if n == 0 {
+            delta
+        } else {
+            idx.checked_add(delta)
+                .ok_or(PersistError::Malformed("sketch index overflow"))?
+        };
+        let count = rv(bytes, pos)?;
+        pairs.push((idx, count));
+    }
+    SparseSketch::from_parts(min, max, pairs)
+        .ok_or(PersistError::Malformed("invalid sketch buckets"))
+}
+
+/// Serialize the full store state.
+pub fn save_store(store: &Store) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&STORE_MAGIC);
+    out.push(STORE_VERSION);
+    let cfg = store.config();
+    write_varint(&mut out, cfg.bucket_ms);
+    write_varint(&mut out, u64::from(cfg.rollup_buckets));
+    write_varint(&mut out, cfg.partitions as u64);
+    write_varint(&mut out, cfg.auto_compact_every);
+    for p in &store.partitions {
+        write_varint(&mut out, p.inserted);
+        write_varint(&mut out, p.compactions);
+        write_varint(&mut out, p.cells_folded);
+        write_varint(&mut out, p.since_compact);
+        write_varint(&mut out, p.cells.len() as u64);
+        for (k, c) in &p.cells {
+            write_varint(&mut out, u64::from(k.bucket));
+            write_varint(&mut out, u64::from(k.kind));
+            write_varint(&mut out, u64::from(k.isp));
+            write_varint(&mut out, u64::from(k.rat));
+            write_varint(&mut out, u64::from(k.model));
+            write_varint(&mut out, u64::from(k.region));
+            write_varint(&mut out, u64::from(k.cause_class));
+            write_varint(&mut out, k.cause);
+            write_varint(&mut out, c.count);
+            write_varint(&mut out, c.duration_ms_total);
+            write_varint(&mut out, c.under_30s);
+            write_sketch(&mut out, &c.sketch);
+        }
+        write_varint(&mut out, p.devices.len() as u64);
+        let mut prev: Option<u32> = None;
+        for (&id, rec) in &p.devices {
+            // First id raw, then strictly positive deltas (ids ascend).
+            let v = match prev {
+                None => u64::from(id),
+                Some(last) => u64::from(id - last),
+            };
+            prev = Some(id);
+            write_varint(&mut out, v);
+            write_varint(&mut out, u64::from(rec.model));
+            write_varint(&mut out, u64::from(rec.region));
+            write_varint(&mut out, u64::from(rec.isp));
+            write_varint(&mut out, rec.failures);
+        }
+    }
+    let crc = crc32(&out);
+    out.extend_from_slice(&crc.to_le_bytes());
+    out
+}
+
+/// Restore a store image. Total: every failure mode is a [`PersistError`].
+pub fn restore_store(bytes: &[u8]) -> Result<Store, PersistError> {
+    if bytes.len() < STORE_MAGIC.len() + 1 + 4 {
+        return Err(PersistError::TooShort);
+    }
+    let (body, trailer) = bytes.split_at(bytes.len() - 4);
+    let stored_crc = u32::from_le_bytes(trailer.try_into().expect("4-byte trailer"));
+    if crc32(body) != stored_crc {
+        return Err(PersistError::BadCrc);
+    }
+    if body[..2] != STORE_MAGIC {
+        return Err(PersistError::BadMagic);
+    }
+    if body[2] != STORE_VERSION {
+        return Err(PersistError::BadVersion(body[2]));
+    }
+    let mut pos = 3usize;
+    let bucket_ms = rv(body, &mut pos)?;
+    let rollup = rv(body, &mut pos)?;
+    let nparts = rv(body, &mut pos)? as usize;
+    let auto_compact_every = rv(body, &mut pos)?;
+    if bucket_ms == 0 || rollup == 0 || rollup > u64::from(u32::MAX) {
+        return Err(PersistError::Malformed("invalid bucket geometry"));
+    }
+    if nparts == 0 || nparts > body.len() {
+        return Err(PersistError::Malformed("partition count exceeds input"));
+    }
+    let cfg = StoreConfig {
+        bucket_ms,
+        rollup_buckets: rollup as u32,
+        partitions: nparts,
+        auto_compact_every,
+    };
+    let mut store = Store::new(&cfg);
+    for p in store.partitions.iter_mut() {
+        p.inserted = rv(body, &mut pos)?;
+        p.compactions = rv(body, &mut pos)?;
+        p.cells_folded = rv(body, &mut pos)?;
+        p.since_compact = rv(body, &mut pos)?;
+        let ncells = rv(body, &mut pos)? as usize;
+        if ncells > body.len().saturating_sub(pos) {
+            return Err(PersistError::Malformed("cell count exceeds input"));
+        }
+        let mut prev_key: Option<CellKey> = None;
+        for _ in 0..ncells {
+            let bucket = rv(body, &mut pos)?;
+            if bucket > u64::from(u32::MAX) {
+                return Err(PersistError::Malformed("bucket exceeds u32"));
+            }
+            let key = CellKey {
+                bucket: bucket as u32,
+                kind: rv_u8(body, &mut pos)?,
+                isp: rv_u8(body, &mut pos)?,
+                rat: rv_u8(body, &mut pos)?,
+                model: rv_u8(body, &mut pos)?,
+                region: rv_u8(body, &mut pos)?,
+                cause_class: rv_u8(body, &mut pos)?,
+                cause: rv(body, &mut pos)?,
+            };
+            if prev_key.is_some_and(|pk| key <= pk) {
+                return Err(PersistError::Malformed("cells out of order"));
+            }
+            prev_key = Some(key);
+            let count = rv(body, &mut pos)?;
+            let duration_ms_total = rv(body, &mut pos)?;
+            let under_30s = rv(body, &mut pos)?;
+            let sketch = read_sketch(body, &mut pos)?;
+            if sketch.count() != count || under_30s > count {
+                return Err(PersistError::Malformed("cell/sketch count mismatch"));
+            }
+            p.cells.insert(
+                key,
+                Cell {
+                    count,
+                    duration_ms_total,
+                    under_30s,
+                    sketch,
+                },
+            );
+        }
+        let ndevices = rv(body, &mut pos)? as usize;
+        if ndevices > body.len().saturating_sub(pos) {
+            return Err(PersistError::Malformed("device count exceeds input"));
+        }
+        let mut prev_id: Option<u32> = None;
+        for _ in 0..ndevices {
+            let v = rv(body, &mut pos)?;
+            let id = match prev_id {
+                None => u32::try_from(v).map_err(|_| PersistError::Malformed("device id"))?,
+                Some(last) => {
+                    if v == 0 {
+                        return Err(PersistError::Malformed("zero device id delta"));
+                    }
+                    last.checked_add(
+                        u32::try_from(v).map_err(|_| PersistError::Malformed("device id"))?,
+                    )
+                    .ok_or(PersistError::Malformed("device id overflow"))?
+                }
+            };
+            prev_id = Some(id);
+            let rec = DeviceRec {
+                model: rv_u8(body, &mut pos)?,
+                region: rv_u8(body, &mut pos)?,
+                isp: rv_u8(body, &mut pos)?,
+                failures: rv(body, &mut pos)?,
+            };
+            p.devices.insert(id, rec);
+        }
+    }
+    if pos != body.len() {
+        return Err(PersistError::TrailingBytes);
+    }
+    Ok(store)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cube::{build_sharded, DeviceDirectory};
+    use cellrel_types::{
+        Apn, BsId, DataFailCause, DeviceId, FailureEvent, FailureKind, InSituInfo, Isp, Rat,
+        SignalLevel, SimDuration, SimTime,
+    };
+
+    fn fixture() -> Store {
+        let events: Vec<FailureEvent> = (0..250u32)
+            .map(|i| FailureEvent {
+                device: DeviceId(i % 25),
+                kind: FailureKind::ALL[i as usize % 5],
+                start: SimTime::from_secs(u64::from(i) * 5_000),
+                duration: SimDuration::from_secs(1 + u64::from(i % 90)),
+                cause: (i % 4 == 0).then_some(DataFailCause::NoService),
+                ctx: InSituInfo {
+                    rat: Rat::ALL[i as usize % 4],
+                    signal: SignalLevel::L2,
+                    apn: Apn::Internet,
+                    bs: Some(BsId::gsm_cn(0, 3, 9)),
+                    isp: Isp::ALL[i as usize % 3],
+                },
+            })
+            .collect();
+        build_sharded(
+            &StoreConfig {
+                partitions: 5,
+                auto_compact_every: 40,
+                ..StoreConfig::default()
+            },
+            &DeviceDirectory::default(),
+            &events,
+            1,
+        )
+    }
+
+    #[test]
+    fn round_trip_is_exact() {
+        let store = fixture();
+        let bytes = save_store(&store);
+        let restored = restore_store(&bytes).unwrap();
+        assert_eq!(restored, store);
+        assert_eq!(restored.digest(), store.digest());
+    }
+
+    #[test]
+    fn empty_store_round_trips() {
+        let store = Store::new(&StoreConfig::default());
+        let restored = restore_store(&save_store(&store)).unwrap();
+        assert_eq!(restored, store);
+    }
+
+    #[test]
+    fn truncation_and_corruption_are_typed_errors() {
+        let bytes = save_store(&fixture());
+        assert_eq!(restore_store(&[]), Err(PersistError::TooShort));
+        for cut in [1, bytes.len() / 2, bytes.len() - 1] {
+            assert!(
+                restore_store(&bytes[..cut]).is_err(),
+                "truncation at {cut} must fail"
+            );
+        }
+        for i in (0..bytes.len()).step_by(97) {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x55;
+            assert!(restore_store(&bad).is_err(), "bit flip at {i} must fail");
+        }
+        let mut trailing = bytes.clone();
+        trailing.push(0);
+        assert!(restore_store(&trailing).is_err());
+    }
+
+    #[test]
+    fn version_and_magic_are_checked() {
+        let mut bytes = save_store(&Store::new(&StoreConfig::default()));
+        // Bump the version byte and re-seal the CRC so only the version
+        // check can object.
+        bytes[2] = 9;
+        let n = bytes.len();
+        let crc = crc32(&bytes[..n - 4]);
+        bytes[n - 4..].copy_from_slice(&crc.to_le_bytes());
+        assert_eq!(restore_store(&bytes), Err(PersistError::BadVersion(9)));
+        bytes[0] = b'X';
+        bytes[2] = STORE_VERSION;
+        let crc = crc32(&bytes[..n - 4]);
+        bytes[n - 4..].copy_from_slice(&crc.to_le_bytes());
+        assert_eq!(restore_store(&bytes), Err(PersistError::BadMagic));
+    }
+}

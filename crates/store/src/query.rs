@@ -1,0 +1,939 @@
+//! The embedded query engine: typed filter / group-by / top-k / quantile
+//! queries over the cube.
+//!
+//! A [`Query`] names the dimensions to group by, the predicates to filter
+//! on, the [`Metric`] to compute per group, and optionally a top-k cut.
+//! Evaluation is a single pass: the engine scans each partition's cell map
+//! (pruned to a key range when the filters bound time), folds matching
+//! cells into one accumulator [`Cell`](crate::cube::Cell) per group — the
+//! same exact merge the build path uses, so grouping is associative and
+//! compaction-transparent — then derives the metric per group.
+//!
+//! **Compaction transparency.** Time windows and time-range bounds must be
+//! multiples of the rollup granularity (`bucket_ms × rollup_buckets`);
+//! validation rejects anything finer. Under that rule a cell and its
+//! rolled-up image always land in the same group of every legal query, so
+//! answers are identical with compaction on or off — asserted by the
+//! property tests and the CI store-smoke job.
+//!
+//! **Determinism.** Group accumulation uses ordered maps keyed by the
+//! numeric group key; rows come out key-ascending, and top-k orders by
+//! (value descending, key ascending) — no iteration-order or tie
+//! nondeterminism anywhere.
+
+use crate::cube::{Cell, CellKey, Region, Store, NO_CAUSE_CLASS, NO_ISP};
+use cellrel_sim::Telemetry;
+use cellrel_types::{DataFailCause, FailureKind, FailureLayer, Isp, PhoneModelId, Rat};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A cube dimension a query can group by.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dim {
+    /// Time window (width = [`Query::window_ms`]).
+    Time,
+    /// Failure kind.
+    Kind,
+    /// ISP.
+    Isp,
+    /// Radio access technology.
+    Rat,
+    /// Device model.
+    Model,
+    /// Deployment region.
+    Region,
+    /// Fail-cause protocol layer.
+    CauseClass,
+    /// Individual fail-cause code.
+    Cause,
+}
+
+impl Dim {
+    /// Column header used in rendered/exported result sets.
+    pub const fn label(self) -> &'static str {
+        match self {
+            Dim::Time => "window",
+            Dim::Kind => "kind",
+            Dim::Isp => "isp",
+            Dim::Rat => "rat",
+            Dim::Model => "model",
+            Dim::Region => "region",
+            Dim::CauseClass => "cause_class",
+            Dim::Cause => "cause",
+        }
+    }
+}
+
+/// A conjunctive filter predicate (a query matches a cell iff **all** its
+/// filters match).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Filter {
+    /// Keep one failure kind.
+    Kind(FailureKind),
+    /// Keep one ISP.
+    Isp(Isp),
+    /// Keep one RAT.
+    Rat(Rat),
+    /// Keep one device model.
+    Model(PhoneModelId),
+    /// Keep one region.
+    Region(Region),
+    /// Keep one fail-cause layer.
+    CauseClass(FailureLayer),
+    /// Keep one fail-cause code.
+    Cause(DataFailCause),
+    /// Keep only records that carried a fail cause.
+    HasCause,
+    /// Keep records with `start_ms ∈ [start_ms, end_ms)`. Bounds must be
+    /// multiples of the rollup granularity.
+    TimeRange {
+        /// Inclusive window start, milliseconds.
+        start_ms: u64,
+        /// Exclusive window end, milliseconds.
+        end_ms: u64,
+    },
+}
+
+/// The aggregate computed per group.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Metric {
+    /// Records in the group.
+    Count,
+    /// Exact summed duration, ms.
+    DurationTotalMs,
+    /// Mean duration, ms.
+    MeanDurationMs,
+    /// Maximum duration, ms (exact — sketches track exact extremes).
+    MaxDurationMs,
+    /// Share of records shorter than 30 s.
+    Under30sShare,
+    /// Duration quantile in ms, `q ∈ [0, 1]`.
+    QuantileMs(f64),
+    /// Devices in the directory (group/filter dims limited to
+    /// model/region/ISP).
+    Devices,
+    /// Devices with at least one recorded failure (same dim limits).
+    FailingDevices,
+}
+
+impl Metric {
+    /// Column header for the metric value.
+    pub fn label(&self) -> String {
+        match self {
+            Metric::Count => "count".into(),
+            Metric::DurationTotalMs => "duration_total_ms".into(),
+            Metric::MeanDurationMs => "mean_duration_ms".into(),
+            Metric::MaxDurationMs => "max_duration_ms".into(),
+            Metric::Under30sShare => "under_30s_share".into(),
+            Metric::QuantileMs(q) => {
+                let pct = q * 100.0;
+                if pct == pct.trunc() {
+                    format!("p{pct:.0}_ms")
+                } else {
+                    format!("p{pct}_ms")
+                }
+            }
+            Metric::Devices => "devices".into(),
+            Metric::FailingDevices => "failing_devices".into(),
+        }
+    }
+
+    /// Deterministic value formatting for rendering/export.
+    pub fn format(&self, v: f64) -> String {
+        match self {
+            Metric::MeanDurationMs => format!("{v:.2}"),
+            Metric::Under30sShare => format!("{v:.4}"),
+            _ => format!("{v:.0}"),
+        }
+    }
+
+    fn is_device_metric(&self) -> bool {
+        matches!(self, Metric::Devices | Metric::FailingDevices)
+    }
+}
+
+/// A typed query over the cube.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    /// Conjunctive predicates.
+    pub filters: Vec<Filter>,
+    /// Dimensions to group by (empty = one global row).
+    pub group_by: Vec<Dim>,
+    /// Time-window width in ms when grouping by [`Dim::Time`]; 0 picks the
+    /// rollup granularity. Must be a multiple of the rollup granularity.
+    pub window_ms: u64,
+    /// The aggregate to compute.
+    pub metric: Metric,
+    /// Keep only the k highest-valued rows (0 = all rows, key-ascending).
+    pub top_k: usize,
+}
+
+impl Query {
+    /// A grouped count query — the most common shape.
+    pub fn count_by(group_by: Vec<Dim>) -> Self {
+        Query {
+            filters: Vec::new(),
+            group_by,
+            window_ms: 0,
+            metric: Metric::Count,
+            top_k: 0,
+        }
+    }
+}
+
+/// Why a query was rejected (validation is total; evaluation never panics
+/// on a hostile query).
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryError {
+    /// A dimension appears twice in `group_by`.
+    DuplicateDim(Dim),
+    /// The time window is not a positive multiple of the rollup
+    /// granularity (`bucket_ms × rollup_buckets`).
+    UnalignedWindow {
+        /// Offending window, ms.
+        window_ms: u64,
+        /// Required granularity, ms.
+        granularity_ms: u64,
+    },
+    /// A time-range bound is not a multiple of the rollup granularity, or
+    /// the range is empty.
+    UnalignedRange {
+        /// Offending bound, ms.
+        bound_ms: u64,
+        /// Required granularity, ms.
+        granularity_ms: u64,
+    },
+    /// Device metrics only support model/region/ISP dimensions.
+    DeviceMetricDim(Dim),
+    /// Device metrics only support model/region/ISP (and their filters).
+    DeviceMetricFilter(&'static str),
+    /// Quantile outside `[0, 1]`.
+    BadQuantile(f64),
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::DuplicateDim(d) => write!(f, "dimension {} appears twice", d.label()),
+            QueryError::UnalignedWindow {
+                window_ms,
+                granularity_ms,
+            } => write!(
+                f,
+                "window {window_ms} ms is not a positive multiple of the rollup granularity {granularity_ms} ms"
+            ),
+            QueryError::UnalignedRange {
+                bound_ms,
+                granularity_ms,
+            } => write!(
+                f,
+                "time-range bound {bound_ms} ms is not aligned to the rollup granularity {granularity_ms} ms (or the range is empty)"
+            ),
+            QueryError::DeviceMetricDim(d) => write!(
+                f,
+                "device metrics cannot group by {} (model/region/isp only)",
+                d.label()
+            ),
+            QueryError::DeviceMetricFilter(name) => write!(
+                f,
+                "device metrics cannot filter on {name} (model/region/isp only)"
+            ),
+            QueryError::BadQuantile(q) => write!(f, "quantile {q} outside [0, 1]"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+/// One result row: the numeric group key (one entry per `group_by` dim, in
+/// order), printable labels for each, the metric value, and the record
+/// count that contributed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResultRow {
+    /// Numeric group key per dimension.
+    pub key: Vec<u64>,
+    /// Printable label per dimension.
+    pub labels: Vec<String>,
+    /// The metric value.
+    pub value: f64,
+    /// Records contributing to the group (devices for device metrics).
+    pub count: u64,
+}
+
+/// A query result: rows plus scan accounting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResultSet {
+    /// The grouping dimensions, in key order.
+    pub group_by: Vec<Dim>,
+    /// The computed metric.
+    pub metric: Metric,
+    /// Result rows (key-ascending, or value-descending after a top-k cut).
+    pub rows: Vec<ResultRow>,
+    /// Cells visited (after time-range pruning).
+    pub cells_scanned: u64,
+    /// Cells that passed all filters.
+    pub cells_matched: u64,
+}
+
+impl ResultSet {
+    /// Plain-text table rendering (deterministic widths and formatting).
+    pub fn render(&self) -> String {
+        let mut headers: Vec<String> = self
+            .group_by
+            .iter()
+            .map(|d| d.label().to_string())
+            .collect();
+        headers.push(self.metric.label());
+        headers.push("records".into());
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                let mut cols = r.labels.clone();
+                cols.push(self.metric.format(r.value));
+                cols.push(r.count.to_string());
+                cols
+            })
+            .collect();
+        let mut widths: Vec<usize> = headers.iter().map(String::len).collect();
+        for row in &rows {
+            for (w, c) in widths.iter_mut().zip(row) {
+                *w = (*w).max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_line = |cols: &[String], widths: &[usize]| {
+            let mut line = String::new();
+            for (i, (c, w)) in cols.iter().zip(widths).enumerate() {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(&format!("{c:>w$}", w = *w));
+            }
+            line.push('\n');
+            line
+        };
+        out.push_str(&fmt_line(&headers, &widths));
+        for row in &rows {
+            out.push_str(&fmt_line(row, &widths));
+        }
+        out
+    }
+}
+
+struct Plan {
+    window_ms: u64,
+    bucket_lo: u32,
+    bucket_hi: u32, // exclusive
+}
+
+/// There are exactly [`MAX_DIMS`] dimensions and duplicates are rejected,
+/// so a fixed array (unused slots 0) holds any legal group key without
+/// per-cell heap allocation.
+const MAX_DIMS: usize = 8;
+type GroupKey = [u64; MAX_DIMS];
+
+fn validate(store: &Store, q: &Query) -> Result<Plan, QueryError> {
+    let cfg = store.config();
+    let granularity_ms = cfg.bucket_ms * u64::from(cfg.rollup_buckets);
+    for (i, d) in q.group_by.iter().enumerate() {
+        if q.group_by[..i].contains(d) {
+            return Err(QueryError::DuplicateDim(*d));
+        }
+    }
+    if let Metric::QuantileMs(qq) = q.metric {
+        if !(0.0..=1.0).contains(&qq) {
+            return Err(QueryError::BadQuantile(qq));
+        }
+    }
+    if q.metric.is_device_metric() {
+        for d in &q.group_by {
+            if !matches!(d, Dim::Model | Dim::Region | Dim::Isp) {
+                return Err(QueryError::DeviceMetricDim(*d));
+            }
+        }
+        for f in &q.filters {
+            if !matches!(f, Filter::Model(_) | Filter::Region(_) | Filter::Isp(_)) {
+                return Err(QueryError::DeviceMetricFilter(filter_name(f)));
+            }
+        }
+    }
+    let mut window_ms = granularity_ms;
+    if q.group_by.contains(&Dim::Time) && q.window_ms != 0 {
+        if q.window_ms % granularity_ms != 0 {
+            return Err(QueryError::UnalignedWindow {
+                window_ms: q.window_ms,
+                granularity_ms,
+            });
+        }
+        window_ms = q.window_ms;
+    }
+    let mut bucket_lo = 0u32;
+    let mut bucket_hi = u32::MAX;
+    for f in &q.filters {
+        if let Filter::TimeRange { start_ms, end_ms } = f {
+            for b in [*start_ms, *end_ms] {
+                if b % granularity_ms != 0 {
+                    return Err(QueryError::UnalignedRange {
+                        bound_ms: b,
+                        granularity_ms,
+                    });
+                }
+            }
+            if end_ms <= start_ms {
+                return Err(QueryError::UnalignedRange {
+                    bound_ms: *end_ms,
+                    granularity_ms,
+                });
+            }
+            bucket_lo = bucket_lo.max((start_ms / cfg.bucket_ms).min(u64::from(u32::MAX)) as u32);
+            bucket_hi = bucket_hi.min((end_ms / cfg.bucket_ms).min(u64::from(u32::MAX)) as u32);
+        }
+    }
+    Ok(Plan {
+        window_ms,
+        bucket_lo,
+        bucket_hi,
+    })
+}
+
+const fn filter_name(f: &Filter) -> &'static str {
+    match f {
+        Filter::Kind(_) => "kind",
+        Filter::Isp(_) => "isp",
+        Filter::Rat(_) => "rat",
+        Filter::Model(_) => "model",
+        Filter::Region(_) => "region",
+        Filter::CauseClass(_) => "cause_class",
+        Filter::Cause(_) => "cause",
+        Filter::HasCause => "has_cause",
+        Filter::TimeRange { .. } => "time_range",
+    }
+}
+
+fn group_component(key: &CellKey, d: Dim, bucket_ms: u64, window_ms: u64) -> u64 {
+    match d {
+        Dim::Time => (u64::from(key.bucket) * bucket_ms) / window_ms,
+        Dim::Kind => u64::from(key.kind),
+        Dim::Isp => u64::from(key.isp),
+        Dim::Rat => u64::from(key.rat),
+        Dim::Model => u64::from(key.model),
+        Dim::Region => u64::from(key.region),
+        Dim::CauseClass => u64::from(key.cause_class),
+        Dim::Cause => key.cause,
+    }
+}
+
+fn component_label(d: Dim, component: u64, window_ms: u64) -> String {
+    match d {
+        Dim::Time => {
+            let start = component * window_ms;
+            let end = start + window_ms;
+            format!("[{}h,{}h)", start / 3_600_000, end / 3_600_000)
+        }
+        Dim::Kind => FailureKind::from_index(component as usize)
+            .map_or_else(|| format!("kind#{component}"), |k| k.label().to_string()),
+        Dim::Isp => {
+            if component == u64::from(NO_ISP) {
+                "unknown".to_string()
+            } else {
+                Isp::from_index(component as usize)
+                    .map_or_else(|| format!("isp#{component}"), |i| i.label().to_string())
+            }
+        }
+        Dim::Rat => Rat::from_index(component as usize)
+            .map_or_else(|| format!("rat#{component}"), |r| r.label().to_string()),
+        Dim::Model => {
+            if component == 0 {
+                "unknown".to_string()
+            } else {
+                format!("model-{component:02}")
+            }
+        }
+        Dim::Region => Region::from_index(component as usize)
+            .map_or_else(|| format!("region#{component}"), |r| r.label().to_string()),
+        Dim::CauseClass => {
+            if component == u64::from(NO_CAUSE_CLASS) {
+                "none".to_string()
+            } else {
+                FailureLayer::from_index(component as usize)
+                    .map_or_else(|| format!("layer#{component}"), |l| l.to_string())
+            }
+        }
+        Dim::Cause => {
+            if component == 0 {
+                "none".to_string()
+            } else {
+                let code = cellrel_ingest::codec::unzigzag(component - 1) as i32;
+                DataFailCause::from_code(code).to_string()
+            }
+        }
+    }
+}
+
+impl Store {
+    /// Evaluate a query. See the module docs for semantics and guarantees.
+    pub fn query(&self, q: &Query) -> Result<ResultSet, QueryError> {
+        self.query_with(q, &Telemetry::disabled())
+    }
+
+    /// [`Store::query`] with instrumentation: bumps `store.queries`,
+    /// `store.cells_scanned` and the `store.query.cells_scanned` /
+    /// `store.query.rows` histograms on an enabled registry.
+    pub fn query_with(&self, q: &Query, tele: &Telemetry) -> Result<ResultSet, QueryError> {
+        let plan = validate(self, q)?;
+        let rs = if q.metric.is_device_metric() {
+            self.eval_devices(q)
+        } else {
+            self.eval_cells(q, &plan)
+        };
+        tele.inc("store.queries");
+        tele.add("store.cells_scanned", rs.cells_scanned);
+        tele.observe("store.query.cells_scanned", rs.cells_scanned);
+        tele.observe("store.query.rows", rs.rows.len() as u64);
+        Ok(rs)
+    }
+
+    fn eval_cells(&self, q: &Query, plan: &Plan) -> ResultSet {
+        let bucket_ms = self.config().bucket_ms;
+        let mut scanned = 0u64;
+        let mut matched = 0u64;
+        // Group keys are fixed arrays (unused dims stay 0), not Vecs: the
+        // scan visits every cell once per query, and a heap allocation per
+        // cell would dominate it. `MAX_DIMS` bounds `group_by` (validated).
+        let mut groups: BTreeMap<GroupKey, Cell> = BTreeMap::new();
+        let lo = CellKey {
+            bucket: plan.bucket_lo,
+            kind: 0,
+            isp: 0,
+            rat: 0,
+            model: 0,
+            region: 0,
+            cause_class: 0,
+            cause: 0,
+        };
+        let hi = CellKey {
+            bucket: plan.bucket_hi,
+            ..lo
+        };
+        for p in &self.partitions {
+            let range: Box<dyn Iterator<Item = (&CellKey, &Cell)>> =
+                if plan.bucket_lo == 0 && plan.bucket_hi == u32::MAX {
+                    Box::new(p.cells.iter())
+                } else {
+                    Box::new(p.cells.range(lo..hi))
+                };
+            for (key, cell) in range {
+                scanned += 1;
+                if !q.filters.iter().all(|f| filter_hits(key, f, bucket_ms)) {
+                    continue;
+                }
+                matched += 1;
+                let mut gk: GroupKey = [0; MAX_DIMS];
+                for (slot, d) in gk.iter_mut().zip(&q.group_by) {
+                    *slot = group_component(key, *d, bucket_ms, plan.window_ms);
+                }
+                match groups.get_mut(&gk) {
+                    Some(acc) => acc.merge_ref(cell),
+                    None => {
+                        groups.insert(gk, cell.clone());
+                    }
+                }
+            }
+        }
+        let mut rows: Vec<ResultRow> = groups
+            .into_iter()
+            .map(|(gk, acc)| {
+                let key: Vec<u64> = gk[..q.group_by.len()].to_vec();
+                let labels = key
+                    .iter()
+                    .zip(&q.group_by)
+                    .map(|(c, d)| component_label(*d, *c, plan.window_ms))
+                    .collect();
+                let value = metric_value(&q.metric, &acc);
+                ResultRow {
+                    key,
+                    labels,
+                    value,
+                    count: acc.count,
+                }
+            })
+            .collect();
+        apply_top_k(&mut rows, q.top_k);
+        ResultSet {
+            group_by: q.group_by.clone(),
+            metric: q.metric,
+            rows,
+            cells_scanned: scanned,
+            cells_matched: matched,
+        }
+    }
+
+    fn eval_devices(&self, q: &Query) -> ResultSet {
+        let failing_only = matches!(q.metric, Metric::FailingDevices);
+        let mut groups: BTreeMap<GroupKey, u64> = BTreeMap::new();
+        let mut scanned = 0u64;
+        for p in &self.partitions {
+            for rec in p.devices.values() {
+                scanned += 1;
+                if failing_only && rec.failures == 0 {
+                    continue;
+                }
+                let keep = q.filters.iter().all(|f| match f {
+                    Filter::Model(m) => rec.model == m.0,
+                    Filter::Region(r) => usize::from(rec.region) == r.index(),
+                    Filter::Isp(i) => usize::from(rec.isp) == i.index(),
+                    _ => true, // validation rejects the rest
+                });
+                if !keep {
+                    continue;
+                }
+                let mut gk: GroupKey = [0; MAX_DIMS];
+                for (slot, d) in gk.iter_mut().zip(&q.group_by) {
+                    *slot = match d {
+                        Dim::Model => u64::from(rec.model),
+                        Dim::Region => u64::from(rec.region),
+                        Dim::Isp => u64::from(rec.isp),
+                        _ => 0, // validation rejects the rest
+                    };
+                }
+                *groups.entry(gk).or_insert(0) += 1;
+            }
+        }
+        let matched: u64 = groups.values().sum();
+        let mut rows: Vec<ResultRow> = groups
+            .into_iter()
+            .map(|(gk, n)| {
+                let key: Vec<u64> = gk[..q.group_by.len()].to_vec();
+                let labels = key
+                    .iter()
+                    .zip(&q.group_by)
+                    .map(|(c, d)| component_label(*d, *c, 1))
+                    .collect();
+                ResultRow {
+                    key,
+                    labels,
+                    value: n as f64,
+                    count: n,
+                }
+            })
+            .collect();
+        apply_top_k(&mut rows, q.top_k);
+        ResultSet {
+            group_by: q.group_by.clone(),
+            metric: q.metric,
+            rows,
+            cells_scanned: scanned,
+            cells_matched: matched,
+        }
+    }
+}
+
+fn filter_hits(key: &CellKey, f: &Filter, bucket_ms: u64) -> bool {
+    match f {
+        Filter::Kind(k) => usize::from(key.kind) == k.index(),
+        Filter::Isp(i) => usize::from(key.isp) == i.index(),
+        Filter::Rat(r) => usize::from(key.rat) == r.index(),
+        Filter::Model(m) => key.model == m.0,
+        Filter::Region(r) => usize::from(key.region) == r.index(),
+        Filter::CauseClass(l) => usize::from(key.cause_class) == l.index(),
+        Filter::Cause(c) => key.cause_code() == Some(c.code()),
+        Filter::HasCause => key.cause != 0,
+        // Ranges also prune the scan to a key range; re-checking here keeps
+        // intersecting ranges exact without a separate intersection step.
+        Filter::TimeRange { start_ms, end_ms } => {
+            let t = u64::from(key.bucket) * bucket_ms;
+            t >= *start_ms && t < *end_ms
+        }
+    }
+}
+
+fn metric_value(m: &Metric, acc: &Cell) -> f64 {
+    match m {
+        Metric::Count => acc.count as f64,
+        Metric::DurationTotalMs => acc.duration_ms_total as f64,
+        Metric::MeanDurationMs => {
+            if acc.count == 0 {
+                0.0
+            } else {
+                acc.duration_ms_total as f64 / acc.count as f64
+            }
+        }
+        Metric::MaxDurationMs => acc.sketch.max().unwrap_or(0) as f64,
+        Metric::Under30sShare => {
+            if acc.count == 0 {
+                0.0
+            } else {
+                acc.under_30s as f64 / acc.count as f64
+            }
+        }
+        Metric::QuantileMs(q) => acc.sketch.quantile(*q).unwrap_or(0) as f64,
+        Metric::Devices | Metric::FailingDevices => 0.0, // device path never lands here
+    }
+}
+
+fn apply_top_k(rows: &mut Vec<ResultRow>, k: usize) {
+    if k == 0 || rows.len() <= k {
+        if k != 0 {
+            // Still rank the short list by value for presentation parity.
+            sort_by_value(rows);
+        }
+        return;
+    }
+    sort_by_value(rows);
+    rows.truncate(k);
+}
+
+fn sort_by_value(rows: &mut [ResultRow]) {
+    rows.sort_by(|a, b| {
+        b.value
+            .partial_cmp(&a.value)
+            .expect("metric values are finite")
+            .then_with(|| a.key.cmp(&b.key))
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cube::{build_sharded, DeviceDirectory, StoreConfig};
+    use cellrel_types::{
+        Apn, BsId, DeviceId, FailureEvent, InSituInfo, SignalLevel, SimDuration, SimTime,
+    };
+
+    fn ev(device: u32, start_s: u64, dur_s: u64, kind: FailureKind, rat: Rat) -> FailureEvent {
+        FailureEvent {
+            device: DeviceId(device),
+            kind,
+            start: SimTime::from_secs(start_s),
+            duration: SimDuration::from_secs(dur_s),
+            cause: (kind == FailureKind::DataSetupError).then_some(DataFailCause::SignalLost),
+            ctx: InSituInfo {
+                rat,
+                signal: SignalLevel::L3,
+                apn: Apn::Internet,
+                bs: Some(BsId::gsm_cn(0, 1, 2)),
+                isp: Isp::ALL[device as usize % 3],
+            },
+        }
+    }
+
+    fn fixture() -> Store {
+        let events: Vec<FailureEvent> = (0..300u32)
+            .map(|i| {
+                ev(
+                    i % 30,
+                    u64::from(i) * 7_200, // spread over ~25 days
+                    2 + u64::from(i % 60),
+                    FailureKind::ALL[i as usize % 5],
+                    Rat::ALL[i as usize % 4],
+                )
+            })
+            .collect();
+        build_sharded(
+            &StoreConfig::default(),
+            &DeviceDirectory::default(),
+            &events,
+            1,
+        )
+    }
+
+    #[test]
+    fn global_count_matches_inserted() {
+        let s = fixture();
+        let rs = s.query(&Query::count_by(vec![])).unwrap();
+        assert_eq!(rs.rows.len(), 1);
+        assert_eq!(rs.rows[0].value as u64, s.inserted());
+        assert_eq!(rs.cells_scanned, s.cells());
+    }
+
+    #[test]
+    fn group_by_kind_partitions_the_count() {
+        let s = fixture();
+        let rs = s.query(&Query::count_by(vec![Dim::Kind])).unwrap();
+        assert_eq!(rs.rows.len(), 5);
+        let total: u64 = rs.rows.iter().map(|r| r.count).sum();
+        assert_eq!(total, 300);
+        // Rows are key-ascending; labels come from the kind catalogue.
+        assert_eq!(rs.rows[0].labels, vec!["Data_Setup_Error".to_string()]);
+    }
+
+    #[test]
+    fn filters_compose_conjunctively() {
+        let s = fixture();
+        let q = Query {
+            filters: vec![
+                Filter::Kind(FailureKind::DataSetupError),
+                Filter::Rat(Rat::G4),
+            ],
+            group_by: vec![Dim::Isp],
+            window_ms: 0,
+            metric: Metric::Count,
+            top_k: 0,
+        };
+        let rs = s.query(&q).unwrap();
+        let brute: u64 = rs.rows.iter().map(|r| r.count).sum();
+        // i%5==0 (setup) and i%4==2 (G4) → i ≡ 10 (mod 20): 15 of 300.
+        assert_eq!(brute, 15);
+    }
+
+    #[test]
+    fn time_range_prunes_and_filters_identically() {
+        let s = fixture();
+        let week_ms = 7 * 86_400_000u64;
+        let q = Query {
+            filters: vec![Filter::TimeRange {
+                start_ms: 0,
+                end_ms: week_ms,
+            }],
+            group_by: vec![Dim::Kind],
+            window_ms: 0,
+            metric: Metric::Count,
+            top_k: 0,
+        };
+        let rs = s.query(&q).unwrap();
+        // Events 0..84 start inside the first week (7200 s apart).
+        let total: u64 = rs.rows.iter().map(|r| r.count).sum();
+        assert_eq!(total, 84);
+        assert!(rs.cells_scanned < s.cells(), "range scan must prune");
+    }
+
+    #[test]
+    fn quantile_and_max_track_exact_extremes() {
+        let s = fixture();
+        let q = Query {
+            filters: vec![],
+            group_by: vec![],
+            window_ms: 0,
+            metric: Metric::MaxDurationMs,
+            top_k: 0,
+        };
+        let rs = s.query(&q).unwrap();
+        assert_eq!(rs.rows[0].value, 61_000.0); // 2 + 59 seconds
+        let q1 = Query {
+            metric: Metric::QuantileMs(1.0),
+            ..q
+        };
+        assert_eq!(s.query(&q1).unwrap().rows[0].value, 61_000.0);
+        let q0 = Query {
+            metric: Metric::QuantileMs(0.0),
+            ..q1
+        };
+        assert_eq!(s.query(&q0).unwrap().rows[0].value, 2_000.0);
+    }
+
+    #[test]
+    fn top_k_orders_by_value_then_key() {
+        let s = fixture();
+        let q = Query {
+            filters: vec![],
+            group_by: vec![Dim::Rat],
+            window_ms: 0,
+            metric: Metric::Count,
+            top_k: 2,
+        };
+        let rs = s.query(&q).unwrap();
+        assert_eq!(rs.rows.len(), 2);
+        // 300 events over 4 RATs: counts 75 each — the tie breaks by key.
+        assert_eq!(rs.rows[0].key, vec![0]);
+        assert_eq!(rs.rows[1].key, vec![1]);
+    }
+
+    #[test]
+    fn device_metrics_count_the_directory() {
+        let s = fixture();
+        let rs = s
+            .query(&Query {
+                filters: vec![],
+                group_by: vec![],
+                window_ms: 0,
+                metric: Metric::FailingDevices,
+                top_k: 0,
+            })
+            .unwrap();
+        assert_eq!(rs.rows[0].value as u64, 30);
+        let err = s
+            .query(&Query {
+                filters: vec![],
+                group_by: vec![Dim::Kind],
+                window_ms: 0,
+                metric: Metric::Devices,
+                top_k: 0,
+            })
+            .unwrap_err();
+        assert_eq!(err, QueryError::DeviceMetricDim(Dim::Kind));
+    }
+
+    #[test]
+    fn validation_rejects_bad_queries() {
+        let s = fixture();
+        let dup = Query::count_by(vec![Dim::Kind, Dim::Kind]);
+        assert_eq!(
+            s.query(&dup).unwrap_err(),
+            QueryError::DuplicateDim(Dim::Kind)
+        );
+        let bad_window = Query {
+            group_by: vec![Dim::Time],
+            window_ms: 86_400_000, // one day < the weekly rollup granularity
+            ..Query::count_by(vec![])
+        };
+        assert!(matches!(
+            s.query(&bad_window),
+            Err(QueryError::UnalignedWindow { .. })
+        ));
+        let bad_range = Query {
+            filters: vec![Filter::TimeRange {
+                start_ms: 0,
+                end_ms: 3_600_000,
+            }],
+            ..Query::count_by(vec![])
+        };
+        assert!(matches!(
+            s.query(&bad_range),
+            Err(QueryError::UnalignedRange { .. })
+        ));
+        let bad_q = Query {
+            metric: Metric::QuantileMs(1.5),
+            ..Query::count_by(vec![])
+        };
+        assert_eq!(s.query(&bad_q).unwrap_err(), QueryError::BadQuantile(1.5));
+    }
+
+    #[test]
+    fn compaction_does_not_change_answers() {
+        let mut s = fixture();
+        let queries = [
+            Query::count_by(vec![Dim::Kind, Dim::Isp]),
+            Query {
+                group_by: vec![Dim::Time, Dim::Kind],
+                ..Query::count_by(vec![])
+            },
+            Query {
+                metric: Metric::QuantileMs(0.9),
+                group_by: vec![Dim::Rat],
+                ..Query::count_by(vec![])
+            },
+            Query {
+                filters: vec![Filter::HasCause],
+                group_by: vec![Dim::Cause],
+                metric: Metric::Count,
+                window_ms: 0,
+                top_k: 3,
+            },
+        ];
+        let before: Vec<_> = queries.iter().map(|q| s.query(q).unwrap().rows).collect();
+        s.compact();
+        let after: Vec<_> = queries.iter().map(|q| s.query(q).unwrap().rows).collect();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn render_is_stable() {
+        let s = fixture();
+        let rs = s.query(&Query::count_by(vec![Dim::Isp])).unwrap();
+        let text = rs.render();
+        assert_eq!(text.lines().next().unwrap().trim(), "isp  count  records");
+        assert!(text.contains("ISP-A    100      100"), "{text}");
+        assert_eq!(text.lines().count(), 4);
+    }
+}

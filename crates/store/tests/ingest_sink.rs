@@ -1,0 +1,94 @@
+//! End-to-end wiring: device uploads enter the ingest collector as CRC-framed
+//! wire batches, the collector's `AcceptedSink` streams every accepted record
+//! into a [`StoreSink`], and the resulting store answers queries — identical
+//! to a store built directly from the clean event list, at any worker count.
+
+use cellrel_ingest::codec::encode_batch;
+use cellrel_ingest::{run_ingest_with, CollectorConfig};
+use cellrel_store::{build_sharded, DeviceDirectory, Dim, Query, Store, StoreConfig, StoreSink};
+use cellrel_types::{
+    Apn, BsId, DataFailCause, DeviceId, FailureEvent, FailureKind, InSituInfo, Isp, Rat,
+    SignalLevel, SimDuration, SimTime,
+};
+
+fn ev(device: u32, start_s: u64, dur_s: u64, kind: FailureKind) -> FailureEvent {
+    FailureEvent {
+        device: DeviceId(device),
+        kind,
+        start: SimTime::from_secs(start_s),
+        duration: SimDuration::from_secs(dur_s),
+        cause: (kind == FailureKind::DataSetupError).then_some(DataFailCause::SignalLost),
+        ctx: InSituInfo {
+            rat: Rat::ALL[device as usize % 4],
+            signal: SignalLevel::L3,
+            apn: Apn::Internet,
+            bs: Some(BsId::gsm_cn(0, 1, 2)),
+            isp: Isp::ALL[device as usize % 3],
+        },
+    }
+}
+
+/// Per-device batches for a small fleet: 40 devices, 10 records each.
+fn batches() -> (Vec<Vec<u8>>, Vec<FailureEvent>) {
+    let mut batches = Vec::new();
+    let mut all = Vec::new();
+    for d in 0..40u32 {
+        let events: Vec<FailureEvent> = (0..10u64)
+            .map(|i| {
+                ev(
+                    d,
+                    u64::from(d) * 100 + i * 86_400,
+                    3 + i,
+                    FailureKind::ALL[(d as u64 + i) as usize % 5],
+                )
+            })
+            .collect();
+        batches.push(encode_batch(DeviceId(d), 0, &events));
+        all.extend_from_slice(&events);
+    }
+    (batches, all)
+}
+
+fn ingest_into_store(workers: usize, dir: &DeviceDirectory) -> Store {
+    let (wire, _) = batches();
+    let cfg = CollectorConfig {
+        workers,
+        ..CollectorConfig::default()
+    };
+    let store_cfg = StoreConfig::default();
+    let (_collector, sink) = run_ingest_with(
+        &cfg,
+        || StoreSink::new(&store_cfg, dir),
+        |emit| {
+            for b in &wire {
+                emit(b.clone());
+            }
+        },
+    );
+    sink.into_store()
+}
+
+#[test]
+fn collector_fed_store_matches_direct_build_at_any_worker_count() {
+    let dir = DeviceDirectory::default();
+    let (_, events) = batches();
+    let direct = build_sharded(&StoreConfig::default(), &dir, &events, 1);
+    let base = ingest_into_store(1, &dir);
+    assert_eq!(base, direct, "wire-fed store must equal the direct build");
+    assert_eq!(base.digest(), direct.digest());
+    for workers in [2usize, 8] {
+        let s = ingest_into_store(workers, &dir);
+        assert_eq!(s, base, "workers={workers}");
+        assert_eq!(s.digest(), base.digest(), "workers={workers}");
+    }
+}
+
+#[test]
+fn collector_fed_store_answers_queries() {
+    let dir = DeviceDirectory::default();
+    let s = ingest_into_store(2, &dir);
+    let rs = s.query(&Query::count_by(vec![Dim::Kind])).unwrap();
+    assert_eq!(rs.rows.len(), 5);
+    let total: u64 = rs.rows.iter().map(|r| r.count).sum();
+    assert_eq!(total, 400, "every accepted record lands in the cube");
+}

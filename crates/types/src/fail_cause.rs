@@ -39,6 +39,40 @@ pub enum FailureLayer {
     Unknown,
 }
 
+impl FailureLayer {
+    /// Every layer, in dense-index order (matches [`Self::index`]).
+    pub const ALL: [FailureLayer; 5] = [
+        FailureLayer::Physical,
+        FailureLayer::LinkMac,
+        FailureLayer::Network,
+        FailureLayer::Modem,
+        FailureLayer::Unknown,
+    ];
+
+    /// Dense index for array-backed accumulators and cube keys.
+    pub const fn index(self) -> usize {
+        match self {
+            FailureLayer::Physical => 0,
+            FailureLayer::LinkMac => 1,
+            FailureLayer::Network => 2,
+            FailureLayer::Modem => 3,
+            FailureLayer::Unknown => 4,
+        }
+    }
+
+    /// Inverse of [`Self::index`].
+    pub const fn from_index(i: usize) -> Option<FailureLayer> {
+        match i {
+            0 => Some(FailureLayer::Physical),
+            1 => Some(FailureLayer::LinkMac),
+            2 => Some(FailureLayer::Network),
+            3 => Some(FailureLayer::Modem),
+            4 => Some(FailureLayer::Unknown),
+            _ => None,
+        }
+    }
+}
+
 impl fmt::Display for FailureLayer {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(match self {
@@ -666,6 +700,15 @@ mod tests {
         assert!(matches!(c, DataFailCause::Other(0x7FFF)));
         assert_eq!(c.layer(), FailureLayer::Unknown);
         assert!(c.is_true_failure());
+    }
+
+    #[test]
+    fn layer_index_round_trips() {
+        for (i, layer) in FailureLayer::ALL.iter().enumerate() {
+            assert_eq!(layer.index(), i);
+            assert_eq!(FailureLayer::from_index(i), Some(*layer));
+        }
+        assert_eq!(FailureLayer::from_index(FailureLayer::ALL.len()), None);
     }
 
     #[test]

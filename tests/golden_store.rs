@@ -1,0 +1,181 @@
+//! Golden store-query snapshot: a canonical query set — the store-served
+//! Table 1 and Table 2, a representative `ResultSet` rendering and its CSV
+//! export, and the store digest — on the seed-2021 10k-device fleet, pinned
+//! byte-for-byte.
+//!
+//! Any change to event generation, cube routing, merge, compaction, query
+//! grouping, metric math, rendering or CSV formatting surfaces here as a
+//! readable diff. When a change is *intentional*, regenerate and review:
+//!
+//! ```sh
+//! CELLREL_BLESS=1 cargo test -q --test golden_store
+//! git diff tests/golden/store_queries_seed2021.txt
+//! ```
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::sync::OnceLock;
+
+use cellrel::analysis::export::result_set_csv;
+use cellrel::analysis::store_tables::{table1_from_store, table2_from_store};
+use cellrel::analysis::{table1, table2};
+use cellrel::store::{
+    build_sharded, DeviceDirectory, Dim, Filter, Metric, Query, Store, StoreConfig,
+};
+use cellrel::types::FailureKind;
+use cellrel::workload::{run_macro_study, PopulationConfig, StudyConfig, StudyDataset};
+
+fn config() -> StudyConfig {
+    StudyConfig {
+        seed: 2021,
+        population: PopulationConfig {
+            devices: 10_000,
+            ..Default::default()
+        },
+        bs_count: 4_000,
+        ..Default::default()
+    }
+}
+
+/// The seed-2021 fleet and its store, built once for the whole test binary.
+fn fixture() -> &'static (StudyDataset, Store) {
+    static FIX: OnceLock<(StudyDataset, Store)> = OnceLock::new();
+    FIX.get_or_init(|| {
+        let data = run_macro_study(&config());
+        let dir = DeviceDirectory::from_population(&data.population);
+        let store = build_sharded(&StoreConfig::default(), &dir, &data.events, 0);
+        (data, store)
+    })
+}
+
+fn golden_path() -> PathBuf {
+    // CARGO_MANIFEST_DIR is crates/core (the facade owns the root tests/).
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden/store_queries_seed2021.txt")
+}
+
+/// Render the canonical query set into one snapshot document.
+fn canonical_queries(store: &Store) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# store-served canonical queries (seed 2021)");
+    let _ = writeln!(out, "digest: {:016x}", store.digest());
+    let _ = writeln!(out, "inserted: {}", store.inserted());
+    let _ = writeln!(out, "devices: {}", store.devices());
+
+    let t1 = table1_from_store(store).expect("table1 queries are legal");
+    let _ = writeln!(out, "\n## table 1 via store\n");
+    out.push_str(&t1.render());
+
+    let t2 = table2_from_store(store, 10).expect("table2 queries are legal");
+    let _ = writeln!(out, "\n## table 2 via store\n");
+    out.push_str(&t2.render());
+
+    let weekly = store
+        .query(&Query {
+            filters: vec![Filter::Kind(FailureKind::DataSetupError)],
+            group_by: vec![Dim::Time, Dim::Isp],
+            window_ms: 0,
+            metric: Metric::Count,
+            top_k: 0,
+        })
+        .expect("legal query");
+    let _ = writeln!(out, "\n## weekly Data_Setup_Error count by ISP\n");
+    out.push_str(&weekly.render());
+
+    let p95 = store
+        .query(&Query {
+            filters: vec![],
+            group_by: vec![Dim::Rat],
+            window_ms: 0,
+            metric: Metric::QuantileMs(0.95),
+            top_k: 0,
+        })
+        .expect("legal query");
+    let _ = writeln!(out, "\n## p95 duration by RAT\n");
+    out.push_str(&p95.render());
+    let _ = writeln!(out, "\n## p95 duration by RAT (CSV)\n");
+    out.push_str(&result_set_csv(&p95));
+
+    out
+}
+
+#[test]
+fn store_queries_match_golden_snapshot() {
+    let (_, store) = fixture();
+    let actual = canonical_queries(store);
+    let path = golden_path();
+
+    if std::env::var_os("CELLREL_BLESS").is_some() {
+        std::fs::write(&path, &actual).expect("write golden snapshot");
+        eprintln!("blessed {}", path.display());
+        return;
+    }
+
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden snapshot {} ({e}); generate it with \
+             CELLREL_BLESS=1 cargo test -q --test golden_store",
+            path.display()
+        )
+    });
+    if actual != expected {
+        let mismatch = actual
+            .lines()
+            .zip(expected.lines())
+            .enumerate()
+            .find(|(_, (a, e))| a != e);
+        match mismatch {
+            Some((i, (a, e))) => panic!(
+                "golden store-query mismatch at line {}:\n  expected: {e}\n  actual:   {a}\n\
+                 if the change is intentional: CELLREL_BLESS=1 cargo test -q --test golden_store",
+                i + 1
+            ),
+            None => panic!(
+                "golden store-query length mismatch ({} vs {} lines); \
+                 if intentional: CELLREL_BLESS=1 cargo test -q --test golden_store",
+                actual.lines().count(),
+                expected.lines().count()
+            ),
+        }
+    }
+}
+
+/// The acceptance-criterion witness: store-served Table 1 and Table 2 are
+/// byte-identical to the batch analysis on the seed-2021 fleet.
+#[test]
+fn store_tables_match_batch_on_seed_2021() {
+    let (data, store) = fixture();
+    assert_eq!(
+        table1_from_store(store).expect("legal").render(),
+        table1::compute(data).render()
+    );
+    assert_eq!(
+        table2_from_store(store, 10).expect("legal").render(),
+        table2::compute(data, 10).render()
+    );
+}
+
+/// The second acceptance-criterion witness: the store digest is
+/// bit-identical across 1/2/8 build threads and across compaction on/off.
+#[test]
+fn store_digest_thread_and_compaction_invariant() {
+    let (data, store) = fixture();
+    let dir = DeviceDirectory::from_population(&data.population);
+    let base = store.digest();
+    for threads in [1usize, 2, 8] {
+        let mut s = build_sharded(&StoreConfig::default(), &dir, &data.events, threads);
+        assert_eq!(s.digest(), base, "digest diverged at {threads} threads");
+        s.compact();
+        assert_eq!(s.digest(), base, "digest diverged after compaction");
+    }
+    let auto = build_sharded(
+        &StoreConfig {
+            auto_compact_every: 4_096,
+            ..StoreConfig::default()
+        },
+        &dir,
+        &data.events,
+        2,
+    );
+    assert!(auto.compactions() > 0, "auto-compaction must trigger");
+    assert_eq!(auto.digest(), base, "digest diverged under auto-compaction");
+}
