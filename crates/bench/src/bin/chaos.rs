@@ -22,6 +22,11 @@
 //! identical at any thread count and across re-runs — CI compares it to
 //! catch nondeterminism.
 
+// Wall-clock is the *measurement* here (scenarios/s, events/s), not
+// simulation state — benches are outside the workspace-wide
+// Instant/SystemTime gate.
+#![allow(clippy::disallowed_types)]
+
 use cellrel::analysis::export::{
     campaign_coverage_table, campaign_summary_csv, campaign_summary_table, campaign_violations_csv,
     campaign_violations_table,
@@ -31,6 +36,7 @@ use cellrel::types::SimDuration;
 use cellrel::workload::{
     replay_scenario, run_chaos_campaign, run_chaos_campaign_metrics, ChaosConfig, ChaosScenario,
 };
+use std::time::Instant;
 
 fn parse_flag<T: std::str::FromStr>(args: &mut Vec<String>, flag: &str) -> Option<T> {
     let pos = args.iter().position(|a| a == flag)?;
@@ -112,6 +118,7 @@ fn main() {
             cfg.threads.to_string()
         },
     );
+    let t0 = Instant::now();
     let (report, metrics_snap) = if metrics {
         let (report, snap) = run_chaos_campaign_metrics(&cfg, trace_out.is_some());
         (report, Some(snap))
@@ -161,6 +168,24 @@ fn main() {
     }
 
     println!("digest: {:016x}", report.digest());
+
+    let wall = t0.elapsed().as_secs_f64();
+    let snap = cellrel_bench::BenchSnapshot::new("chaos")
+        .config("scenarios", cfg.scenarios)
+        .config("seed", cfg.root_seed)
+        .config("threads", cfg.threads)
+        .config("horizon", cfg.horizon)
+        .metric("events", report.events as f64)
+        .metric("events_per_sec", report.events as f64 / wall.max(1e-9))
+        .metric(
+            "scenarios_per_sec",
+            report.scenarios as f64 / wall.max(1e-9),
+        )
+        .metric("violations", report.violations.len() as f64)
+        .wall_seconds(wall);
+    let path = snap.write().expect("write bench snapshot");
+    eprintln!("chaos: wrote {}", path.display());
+
     if fail_on_violation && !report.violations.is_empty() {
         std::process::exit(1);
     }

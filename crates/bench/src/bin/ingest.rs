@@ -226,4 +226,28 @@ fn main() {
     }
 
     println!("digest: {:016x}", report.digest);
+
+    let snap = cellrel_bench::BenchSnapshot::new("ingest")
+        .config("devices", devices)
+        .config("days", days)
+        .config("seed", seed)
+        .config("threads", threads)
+        .config("batch", batch_cap)
+        .metric("records", records as f64)
+        .metric("batches", batches.len() as f64)
+        .metric(
+            "encode_records_per_sec",
+            records as f64 / encode_elapsed.as_secs_f64().max(1e-9),
+        )
+        .metric(
+            "ingest_records_per_sec",
+            report.counters.records as f64 / ingest_elapsed.as_secs_f64().max(1e-9),
+        )
+        .metric(
+            "bytes_per_record",
+            encoded_bytes as f64 / records.max(1) as f64,
+        )
+        .wall_seconds(t0.elapsed().as_secs_f64());
+    let path = snap.write().expect("write bench snapshot");
+    eprintln!("ingest: wrote {}", path.display());
 }

@@ -341,4 +341,34 @@ fn main() {
     }
 
     println!("digest: {digest:016x}");
+
+    let snap = cellrel_bench::BenchSnapshot::new("query")
+        .config("devices", devices)
+        .config("days", days)
+        .config("seed", seed)
+        .config("threads", threads)
+        .config("partitions", partitions)
+        .config("rounds", rounds)
+        .config("compact", compact)
+        .metric("queries", executed as f64)
+        .metric(
+            "queries_per_sec",
+            executed as f64 / elapsed.as_secs_f64().max(1e-9),
+        )
+        .metric(
+            "cells_scanned_per_query",
+            scanned as f64 / executed.max(1) as f64,
+        )
+        .metric("cells", store.cells() as f64)
+        .metric(
+            "build_records_per_sec",
+            store.inserted() as f64 / build_elapsed.as_secs_f64().max(1e-9),
+        )
+        .metric(
+            "bytes_per_cell",
+            store.approx_cell_bytes() as f64 / store.cells().max(1) as f64,
+        )
+        .wall_seconds(t0.elapsed().as_secs_f64());
+    let path = snap.write().expect("write bench snapshot");
+    eprintln!("query: wrote {}", path.display());
 }

@@ -20,13 +20,25 @@
 //! every failure as a Chrome trace-event span, loadable in Perfetto or
 //! `chrome://tracing`.
 
+// Wall-clock is the *measurement* in the fleet experiment (events/s), not
+// simulation state — benches are outside the workspace-wide
+// Instant/SystemTime gate.
+#![allow(clippy::disallowed_types)]
+
 use cellrel::analysis as an;
 use cellrel::sim::SimRng;
 use cellrel::telephony::RecoveryConfig;
 use cellrel::timp::{anneal_probations, AnnealConfig, TimpModel};
+use cellrel::types::SimDuration;
 use cellrel::workload::durations::sample_auto_heal_secs;
-use cellrel::workload::{run_rat_policy_ab, run_recovery_ab};
-use cellrel_bench::{ab_config, recovery_ab_config, standard_config, standard_study};
+use cellrel::workload::{
+    run_fleet_event_driven, run_fleet_per_tick, run_rat_policy_ab, run_recovery_ab, FleetConfig,
+    PopulationConfig,
+};
+use cellrel_bench::{
+    ab_config, recovery_ab_config, standard_config, standard_study, BenchSnapshot,
+};
+use std::time::Instant;
 
 const ALL: &[&str] = &[
     "headline",
@@ -44,6 +56,7 @@ const ALL: &[&str] = &[
     "fig17",
     "fig19",
     "fig21",
+    "fleet",
     "timp",
     "overhead",
     "hardware",
@@ -171,6 +184,7 @@ fn main() {
                 println!("{}", an::ab::compare_recovery(v, t).render());
             }
             "export-csv" => { /* handled below, needs the path argument */ }
+            "fleet" => println!("{}", fleet_report()),
             "timp" => println!("{}", timp_report()),
             "overhead" => println!("{}", overhead_report()),
             other => eprintln!("unknown experiment id: {other}"),
@@ -190,6 +204,84 @@ fn main() {
             );
         }
     }
+}
+
+/// The event-driven fleet experiment: run the same fleet twice — once with
+/// the per-tick (1 s) scanner, once with the timer-wheel event-driven
+/// driver — assert the reports are bit-identical, and record the measured
+/// events/s of both in `BENCH_repro.json`. The speedup claim is only
+/// meaningful because the baseline produces the *same bytes*.
+fn fleet_report() -> String {
+    let fcfg = FleetConfig {
+        population: PopulationConfig {
+            devices: 2_000,
+            ..Default::default()
+        },
+        days: 2,
+        bs_count: 2_000,
+        ..FleetConfig::default()
+    };
+    let tick = SimDuration::from_secs(1);
+    eprintln!(
+        "fleet: per-tick baseline, {} devices x {} days at a {} tick ...",
+        fcfg.population.devices, fcfg.days, tick
+    );
+    let t_scan = Instant::now();
+    let scan = run_fleet_per_tick(&fcfg, tick, 0);
+    let scan_wall = t_scan.elapsed().as_secs_f64();
+    eprintln!("fleet: event-driven driver, same configuration ...");
+    let t_ev = Instant::now();
+    let ev = run_fleet_event_driven(&fcfg, 0);
+    let ev_wall = t_ev.elapsed().as_secs_f64();
+
+    assert_eq!(
+        ev.digest, scan.digest,
+        "event-driven and per-tick fleet drivers diverged"
+    );
+    assert_eq!(
+        ev.metrics, scan.metrics,
+        "fleet drivers produced different metrics"
+    );
+
+    let events = ev.events();
+    let scan_eps = events as f64 / scan_wall.max(1e-9);
+    let ev_eps = events as f64 / ev_wall.max(1e-9);
+    let speedup = ev_eps / scan_eps.max(1e-9);
+    eprintln!(
+        "fleet: per-tick {scan_wall:.3} s ({scan_eps:.0} events/s), \
+         event-driven {ev_wall:.3} s ({ev_eps:.0} events/s), {speedup:.1}x"
+    );
+
+    let snap = BenchSnapshot::new("repro")
+        .config("devices", fcfg.population.devices)
+        .config("days", fcfg.days)
+        .config("seed", fcfg.seed)
+        .config("tick_ms", tick.as_millis())
+        .metric("events", events as f64)
+        .metric("failures", ev.failures as f64)
+        .metric("per_tick_events_per_sec", scan_eps)
+        .metric("event_driven_events_per_sec", ev_eps)
+        .metric("speedup", speedup)
+        .metric("bytes_per_device", ev.bytes_per_device())
+        .wall_seconds(scan_wall + ev_wall);
+    let path = snap.write().expect("write bench snapshot");
+    eprintln!("fleet: wrote {}", path.display());
+
+    // Deterministic summary (stdout): counts and the shared digest only.
+    format!(
+        "== Event-driven fleet (scheduler tentpole) ==\n\
+         devices: {}, days: {}\n\
+         events: {events} ({} failure candidates, {} accepted failures, {} RAT jumps)\n\
+         digest: {:016x} (identical for per-tick and event-driven drivers)\n\
+         hot bytes/device (event-driven): {:.1}\n",
+        ev.devices,
+        ev.days,
+        ev.candidates,
+        ev.failures,
+        ev.radio_events,
+        ev.digest,
+        ev.bytes_per_device(),
+    )
 }
 
 fn timp_report() -> String {

@@ -10,6 +10,10 @@
 use cellrel::workload::{run_macro_study, PopulationConfig, StudyConfig, StudyDataset};
 use std::sync::OnceLock;
 
+pub mod snapshot;
+
+pub use snapshot::{BenchSnapshot, SCHEMA_VERSION};
+
 /// The standard macro study used by benches and `repro` (medium size:
 /// large enough for stable statistics, small enough to regenerate in
 /// seconds).

@@ -1,0 +1,196 @@
+//! Machine-readable benchmark snapshots.
+//!
+//! Every harness binary (`repro`, `ingest`, `query`, `chaos`) ends its run
+//! by writing a `BENCH_<name>.json` file through this writer, so the perf
+//! trajectory of the repo is tracked as reviewable artifacts rather than
+//! scrollback. The format is deliberately tiny and dependency-free:
+//!
+//! ```json
+//! {
+//!   "schema_version": 1,
+//!   "name": "ingest",
+//!   "config": {"devices": "3000", "days": "14"},
+//!   "metrics": {"records_per_sec": 1234567.0, "bytes_per_record": 11.2},
+//!   "wall_seconds": 1.73
+//! }
+//! ```
+//!
+//! `config` values are strings (they echo CLI flags); `metrics` values are
+//! finite numbers (non-finite values are clamped to 0 so the file is
+//! always valid JSON). Files go to `CELLREL_BENCH_DIR` if set, else the
+//! current directory. CI checks the files exist and carry the expected
+//! schema version; humans diff them across commits.
+
+use std::path::PathBuf;
+
+/// Version of the snapshot schema; bump on any incompatible change.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// Environment variable overriding the output directory.
+pub const BENCH_DIR_ENV: &str = "CELLREL_BENCH_DIR";
+
+/// A benchmark snapshot under construction. Insertion order is preserved
+/// in the output so diffs stay stable.
+#[derive(Debug, Clone)]
+pub struct BenchSnapshot {
+    name: String,
+    config: Vec<(String, String)>,
+    metrics: Vec<(String, f64)>,
+    wall_seconds: f64,
+}
+
+impl BenchSnapshot {
+    /// Start a snapshot for the harness binary `name`.
+    pub fn new(name: &str) -> Self {
+        BenchSnapshot {
+            name: name.to_string(),
+            config: Vec::new(),
+            metrics: Vec::new(),
+            wall_seconds: 0.0,
+        }
+    }
+
+    /// Record one configuration knob (echoed as a string).
+    pub fn config(mut self, key: &str, value: impl std::fmt::Display) -> Self {
+        self.config.push((key.to_string(), value.to_string()));
+        self
+    }
+
+    /// Record one measured metric.
+    pub fn metric(mut self, key: &str, value: f64) -> Self {
+        let v = if value.is_finite() { value } else { 0.0 };
+        self.metrics.push((key.to_string(), v));
+        self
+    }
+
+    /// Record the run's total wall-clock seconds.
+    pub fn wall_seconds(mut self, secs: f64) -> Self {
+        self.wall_seconds = if secs.is_finite() { secs } else { 0.0 };
+        self
+    }
+
+    /// Render the snapshot as JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256);
+        out.push_str("{\n");
+        out.push_str(&format!("  \"schema_version\": {SCHEMA_VERSION},\n"));
+        out.push_str(&format!("  \"name\": {},\n", json_string(&self.name)));
+        out.push_str("  \"config\": {");
+        for (i, (k, v)) in self.config.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\n    {}: {}", json_string(k), json_string(v)));
+        }
+        if !self.config.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("},\n  \"metrics\": {");
+        for (i, (k, v)) in self.metrics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\n    {}: {}", json_string(k), json_number(*v)));
+        }
+        if !self.metrics.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str(&format!(
+            "}},\n  \"wall_seconds\": {}\n}}\n",
+            json_number(self.wall_seconds)
+        ));
+        out
+    }
+
+    /// The file this snapshot writes to: `<dir>/BENCH_<name>.json` where
+    /// `<dir>` is [`BENCH_DIR_ENV`] or the current directory.
+    pub fn path(&self) -> PathBuf {
+        let dir = std::env::var(BENCH_DIR_ENV)
+            .map(PathBuf::from)
+            .unwrap_or_else(|_| PathBuf::from("."));
+        dir.join(format!("BENCH_{}.json", self.name))
+    }
+
+    /// Write the snapshot and return its path.
+    pub fn write(&self) -> std::io::Result<PathBuf> {
+        let path = self.path();
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        std::fs::write(&path, self.to_json())?;
+        Ok(path)
+    }
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// JSON number formatting: always carries a decimal point or exponent so
+/// consumers parse a float, never an overflow-prone integer.
+fn json_number(v: f64) -> String {
+    let s = format!("{v}");
+    if s.contains('.') || s.contains('e') || s.contains("inf") || s.contains("NaN") {
+        if v.is_finite() {
+            s
+        } else {
+            "0.0".to_string()
+        }
+    } else {
+        format!("{s}.0")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_stable_json() {
+        let snap = BenchSnapshot::new("demo")
+            .config("devices", 3000)
+            .config("mode", "event-driven")
+            .metric("events_per_sec", 1_234_567.5)
+            .metric("speedup", f64::NAN)
+            .wall_seconds(1.25);
+        let json = snap.to_json();
+        assert!(json.starts_with("{\n  \"schema_version\": 1,\n"));
+        assert!(json.contains("\"name\": \"demo\""));
+        assert!(json.contains("\"devices\": \"3000\""));
+        assert!(json.contains("\"events_per_sec\": 1234567.5"));
+        // Non-finite metrics are clamped, keeping the file valid JSON.
+        assert!(json.contains("\"speedup\": 0.0"));
+        assert!(json.contains("\"wall_seconds\": 1.25"));
+        // Integral values still parse as floats downstream.
+        let snap2 = BenchSnapshot::new("x").metric("n", 42.0);
+        assert!(snap2.to_json().contains("\"n\": 42.0"));
+    }
+
+    #[test]
+    fn escapes_strings() {
+        assert_eq!(json_string("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+    }
+
+    #[test]
+    fn empty_sections_render_as_empty_objects() {
+        let json = BenchSnapshot::new("empty").to_json();
+        assert!(json.contains("\"config\": {},"));
+        assert!(json.contains("\"metrics\": {},"));
+    }
+}

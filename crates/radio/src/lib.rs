@@ -38,6 +38,7 @@ pub mod interference;
 pub mod load;
 pub mod propagation;
 pub mod selection;
+pub mod transitions;
 
 pub use bs::{BaseStation, BsIndex};
 pub use deployment::{DeploymentConfig, RadioEnvironment};
@@ -46,3 +47,4 @@ pub use environment::Environment;
 pub use geometry::Pos;
 pub use interference::RiskFactors;
 pub use selection::CellView;
+pub use transitions::RatTransitionModel;

@@ -34,6 +34,7 @@ pub mod rng;
 pub mod sketch;
 pub mod stats;
 pub mod telemetry;
+pub mod wheel;
 
 pub use campaign::{
     run_campaign, CampaignReport, Digest64, Invariant, InvariantRegistry, ScenarioOutcome,
@@ -43,8 +44,9 @@ pub use dist::{Empirical, LogNormalDist, ParetoDist, WeightedIndex, ZipfDist};
 pub use par::{
     auto_threads, merge_all, resolve_threads, run_sharded, run_sharded_merge, shard_ranges, Merge,
 };
-pub use queue::{EventHandler, EventQueue, EventToken};
+pub use queue::{run_scheduled, EventHandler, EventQueue, EventToken, Scheduler};
 pub use rng::SimRng;
 pub use sketch::{QuantileSketch, SparseSketch};
 pub use stats::{bootstrap_mean_ci, fit_zipf, linreg, percentile, Ecdf, Histogram, Summary};
 pub use telemetry::{MetricsRegistry, MetricsSnapshot, SpanGuard, Telemetry, TraceSink};
+pub use wheel::TimerWheel;

@@ -4,14 +4,91 @@
 //! stable FIFO ordering for simultaneous events and O(log n) cancellation
 //! via tombstones. Popping an event advances the simulation clock; time
 //! never moves backwards.
+//!
+//! The [`Scheduler`] trait abstracts the scheduling surface so simulation
+//! components can run unchanged on either backend: the binary-heap
+//! [`EventQueue`] here, or the hierarchical [`TimerWheel`](crate::TimerWheel)
+//! whose schedule/cancel/advance are O(1) for the fleet hot path. Both
+//! dispatch simultaneous events in strict schedule (FIFO) order, so a
+//! deterministic simulation produces bit-identical traces on either.
 
 use cellrel_types::{SimDuration, SimTime};
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashSet};
 
 /// Handle to a scheduled event, used to cancel it before it fires.
+///
+/// Tokens are only meaningful on the scheduler that issued them.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct EventToken(u64);
+
+impl EventToken {
+    /// Build a token from a raw backend-specific id (crate-internal: the
+    /// timer wheel packs a slab index + generation in here).
+    pub(crate) fn from_raw(raw: u64) -> Self {
+        EventToken(raw)
+    }
+
+    /// The raw backend-specific id.
+    pub(crate) fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+/// The scheduling surface shared by every event-loop backend.
+///
+/// Implementations guarantee:
+///
+/// * the clock ([`now`](Scheduler::now)) is the timestamp of the last popped
+///   event and never moves backwards;
+/// * events pop in ascending `(time, schedule order)` — simultaneous events
+///   fire in the order they were scheduled (FIFO);
+/// * scheduling in the past (before `now`) panics — a past-dated event is
+///   always a logic bug in the caller.
+pub trait Scheduler<E> {
+    /// Current simulation time (the timestamp of the last popped event).
+    fn now(&self) -> SimTime;
+    /// Number of live (non-cancelled) scheduled events.
+    fn len(&self) -> usize;
+    /// True if no live events remain.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// Schedule `event` at absolute time `at`.
+    fn schedule_at(&mut self, at: SimTime, event: E) -> EventToken;
+    /// Schedule `event` after a delay from the current time.
+    fn schedule_after(&mut self, delay: SimDuration, event: E) -> EventToken {
+        let at = self.now() + delay;
+        self.schedule_at(at, event)
+    }
+    /// Cancel a previously scheduled event. Returns `false` if the event has
+    /// already fired or was already cancelled.
+    fn cancel(&mut self, token: EventToken) -> bool;
+    /// Timestamp of the next live event, without popping it.
+    fn peek_time(&mut self) -> Option<SimTime>;
+    /// Pop the next live event, advancing the clock to its timestamp.
+    fn pop(&mut self) -> Option<(SimTime, E)>;
+}
+
+/// Run the simulation loop on any [`Scheduler`] backend until the queue
+/// drains or the clock passes `until`. Events scheduled exactly at `until`
+/// still fire. Returns the number of events dispatched.
+pub fn run_scheduled<E, Q, H>(queue: &mut Q, handler: &mut H, until: SimTime) -> u64
+where
+    Q: Scheduler<E>,
+    H: EventHandler<E, Q>,
+{
+    let mut dispatched = 0;
+    while let Some(at) = queue.peek_time() {
+        if at > until {
+            break;
+        }
+        let (at, ev) = queue.pop().expect("peeked event vanished");
+        handler.handle(at, ev, queue);
+        dispatched += 1;
+    }
+    dispatched
+}
 
 #[derive(Debug)]
 struct Entry<E> {
@@ -45,7 +122,7 @@ impl<E> Ord for Entry<E> {
 /// A deterministic, cancellable discrete-event queue.
 ///
 /// ```
-/// use cellrel_sim::EventQueue;
+/// use cellrel_sim::{EventQueue, Scheduler};
 /// use cellrel_types::{SimDuration, SimTime};
 ///
 /// let mut q: EventQueue<&str> = EventQueue::new();
@@ -65,6 +142,8 @@ pub struct EventQueue<E> {
     /// skimmed). Membership here is what makes cancellation exact.
     pending: HashSet<u64>,
     /// Seqs cancelled while still pending; lazily removed from the heap.
+    /// Compacted whenever tombstones come to dominate the heap, so memory
+    /// stays proportional to *live* events under schedule/cancel churn.
     cancelled: HashSet<u64>,
     now: SimTime,
     next_seq: u64,
@@ -75,6 +154,10 @@ impl<E> Default for EventQueue<E> {
         Self::new()
     }
 }
+
+/// Compaction threshold: never compact below this many tombstones (small
+/// queues would churn), above it compact once tombstones reach half the heap.
+const COMPACT_MIN_TOMBSTONES: usize = 64;
 
 impl<E> EventQueue<E> {
     /// An empty queue with the clock at `SimTime::ZERO`.
@@ -133,6 +216,16 @@ impl<E> EventQueue<E> {
             return false;
         }
         self.cancelled.insert(token.0);
+        // Tombstones buried deep in the heap are invisible to the skim at
+        // pop time; on long cancel-heavy runs they used to accumulate
+        // without bound. Compact whenever they reach half the heap, which
+        // keeps memory O(live events) at amortised O(1) per cancel.
+        if self.cancelled.len() >= COMPACT_MIN_TOMBSTONES
+            && self.cancelled.len() * 2 >= self.heap.len()
+        {
+            let cancelled = std::mem::take(&mut self.cancelled);
+            self.heap.retain(|e| !cancelled.contains(&e.seq));
+        }
         true
     }
 
@@ -171,31 +264,49 @@ impl<E> EventQueue<E> {
     }
 }
 
+impl<E> Scheduler<E> for EventQueue<E> {
+    fn now(&self) -> SimTime {
+        EventQueue::now(self)
+    }
+    fn len(&self) -> usize {
+        EventQueue::len(self)
+    }
+    fn schedule_at(&mut self, at: SimTime, event: E) -> EventToken {
+        EventQueue::schedule_at(self, at, event)
+    }
+    fn cancel(&mut self, token: EventToken) -> bool {
+        EventQueue::cancel(self, token)
+    }
+    fn peek_time(&mut self) -> Option<SimTime> {
+        EventQueue::peek_time(self)
+    }
+    fn pop(&mut self) -> Option<(SimTime, E)> {
+        EventQueue::pop(self)
+    }
+}
+
 /// A component that consumes events and may schedule follow-ups.
-pub trait EventHandler<E> {
+///
+/// The second type parameter selects the scheduler backend the handler runs
+/// on; it defaults to [`EventQueue`] so existing single-backend handlers
+/// keep compiling unchanged. Handlers that should run on any backend (the
+/// device simulator, for example) implement `EventHandler<E, Q>` for all
+/// `Q: Scheduler<E>`.
+pub trait EventHandler<E, Q: Scheduler<E> = EventQueue<E>> {
     /// Handle one event that fired at time `at`.
-    fn handle(&mut self, at: SimTime, event: E, queue: &mut EventQueue<E>);
+    fn handle(&mut self, at: SimTime, event: E, queue: &mut Q);
 }
 
 impl<E> EventQueue<E> {
     /// Run the simulation loop until the queue drains or the clock passes
     /// `until`. Events scheduled exactly at `until` still fire. Returns the
     /// number of events dispatched.
-    pub fn run_until<H: EventHandler<E>>(&mut self, handler: &mut H, until: SimTime) -> u64 {
-        let mut dispatched = 0;
-        while let Some(at) = self.peek_time() {
-            if at > until {
-                break;
-            }
-            let (at, ev) = self.pop().expect("peeked event vanished");
-            handler.handle(at, ev, self);
-            dispatched += 1;
-        }
-        dispatched
+    pub fn run_until<H: EventHandler<E, Self>>(&mut self, handler: &mut H, until: SimTime) -> u64 {
+        run_scheduled(self, handler, until)
     }
 
     /// Run until the queue drains completely. Returns events dispatched.
-    pub fn run_to_completion<H: EventHandler<E>>(&mut self, handler: &mut H) -> u64 {
+    pub fn run_to_completion<H: EventHandler<E, Self>>(&mut self, handler: &mut H) -> u64 {
         self.run_until(handler, SimTime::MAX)
     }
 }
@@ -304,5 +415,54 @@ mod tests {
         q.clear();
         assert!(q.is_empty());
         assert_eq!(q.pop(), None);
+    }
+
+    /// Regression test for unbounded tombstone growth: a long-running
+    /// schedule/cancel churn loop (recurring timers that are always
+    /// rescheduled before firing) must not accumulate dead heap entries.
+    /// Before compaction was added, the heap grew to one entry per cancel
+    /// — 200k entries here; with compaction it stays O(live).
+    #[test]
+    fn cancel_churn_keeps_memory_bounded() {
+        let mut q = EventQueue::new();
+        // A stable backlog of far-future events keeps the tombstones buried
+        // so the pop-time skim alone could never reclaim them.
+        for i in 0..100u32 {
+            q.schedule_at(SimTime::from_secs(1_000_000 + u64::from(i)), i);
+        }
+        for round in 0..200_000u64 {
+            let tok = q.schedule_at(SimTime::from_secs(500_000 + round), 0u32);
+            assert!(q.cancel(tok));
+        }
+        assert_eq!(q.len(), 100);
+        assert!(
+            q.heap.len() <= 100 + 2 * COMPACT_MIN_TOMBSTONES,
+            "heap retained {} entries for 100 live events — tombstones leak",
+            q.heap.len()
+        );
+        assert!(q.cancelled.len() <= 2 * COMPACT_MIN_TOMBSTONES);
+        // The queue still works and pops only live events, in order.
+        assert_eq!(q.pop(), Some((SimTime::from_secs(1_000_000), 0u32)));
+    }
+
+    /// The compaction path must preserve ordering and cancellation exactness.
+    #[test]
+    fn compaction_preserves_semantics() {
+        let mut q = EventQueue::new();
+        let mut keep = Vec::new();
+        let mut cancel = Vec::new();
+        for i in 0..500u64 {
+            let tok = q.schedule_at(SimTime::from_secs(1 + i), i);
+            if i % 3 == 0 {
+                keep.push(i);
+            } else {
+                cancel.push(tok);
+            }
+        }
+        for tok in cancel {
+            assert!(q.cancel(tok));
+        }
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, keep);
     }
 }

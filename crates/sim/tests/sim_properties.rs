@@ -1,8 +1,94 @@
-//! Property-based tests for the simulation kernel's RNG, distributions and
-//! statistics.
+//! Property-based tests for the simulation kernel's RNG, distributions,
+//! statistics and scheduler backends.
 
-use cellrel_sim::{fit_zipf, percentile, Ecdf, Empirical, SimRng, WeightedIndex, ZipfDist};
+use cellrel_sim::{
+    fit_zipf, percentile, Ecdf, Empirical, EventQueue, Scheduler, SimRng, TimerWheel,
+    WeightedIndex, ZipfDist,
+};
+use cellrel_types::SimDuration;
 use proptest::prelude::*;
+
+/// One step of a scheduler workload, decoded from a raw `(kind, payload)`
+/// tuple so any drawn sequence is a valid interleaving:
+///
+/// * kind 0–3 — schedule at `now + delay`, with the delay scaled to span
+///   near-term deadlines, multiple wheel levels, and the overflow horizon;
+/// * kind 4–5 — cancel the `payload % issued`-th token ever issued
+///   (possibly already fired or cancelled: results must still agree);
+/// * kind 6–7 — pop the next event (or observe the drained state);
+/// * kind 8 — peek the next timestamp without popping.
+#[derive(Debug, Clone)]
+enum SchedOp {
+    Schedule(u64),
+    Cancel(usize),
+    Pop,
+    Peek,
+}
+
+fn decode_op(kind: u8, payload: u64) -> SchedOp {
+    match kind % 9 {
+        0 | 1 => SchedOp::Schedule(payload % 5_000),
+        2 => SchedOp::Schedule(payload % 500_000_000),
+        // Past the 2^36 ms wheel span, into the overflow list; bounded so
+        // 200 successive far deadlines can never overflow the clock.
+        3 => SchedOp::Schedule(payload % (1 << 40)),
+        4 | 5 => SchedOp::Cancel(payload as usize),
+        6 | 7 => SchedOp::Pop,
+        _ => SchedOp::Peek,
+    }
+}
+
+proptest! {
+    /// The tentpole equivalence property: on an arbitrary interleaving of
+    /// schedule/cancel/pop operations, the timer wheel observably behaves
+    /// exactly like the binary-heap `EventQueue` — same pop order (times
+    /// AND payloads, i.e. FIFO among simultaneous events), same peeks,
+    /// same cancel results, same lengths.
+    #[test]
+    fn wheel_matches_event_queue(
+        raw_ops in prop::collection::vec((any::<u8>(), any::<u64>()), 1..200)
+    ) {
+        let ops: Vec<SchedOp> = raw_ops
+            .iter()
+            .map(|&(kind, payload)| decode_op(kind, payload))
+            .collect();
+        let mut q: EventQueue<usize> = EventQueue::new();
+        let mut w: TimerWheel<usize> = TimerWheel::new();
+        let mut q_toks = Vec::new();
+        let mut w_toks = Vec::new();
+        for (step, op) in ops.iter().enumerate() {
+            match *op {
+                SchedOp::Schedule(delay) => {
+                    let d = SimDuration::from_millis(delay);
+                    q_toks.push(q.schedule_after(d, step));
+                    w_toks.push(w.schedule_after(d, step));
+                }
+                SchedOp::Cancel(i) => {
+                    if !q_toks.is_empty() {
+                        let i = i % q_toks.len();
+                        prop_assert_eq!(q.cancel(q_toks[i]), w.cancel(w_toks[i]));
+                    }
+                }
+                SchedOp::Pop => {
+                    prop_assert_eq!(q.pop(), w.pop());
+                }
+                SchedOp::Peek => {
+                    prop_assert_eq!(q.peek_time(), w.peek_time());
+                }
+            }
+            prop_assert_eq!(q.len(), w.len());
+            prop_assert_eq!(q.now(), Scheduler::<usize>::now(&w));
+        }
+        // Drain both completely; the full tails must agree.
+        loop {
+            let (a, b) = (q.pop(), w.pop());
+            prop_assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+}
 
 proptest! {
     #[test]

@@ -26,7 +26,7 @@ use crate::stall::DataStallDetector;
 use cellrel_modem::Modem;
 use cellrel_netstack::{LinkCondition, NetStack};
 use cellrel_radio::{CellView, Pos, RadioEnvironment, RiskFactors};
-use cellrel_sim::{span, EventHandler, EventQueue, EventToken, SimRng, Telemetry};
+use cellrel_sim::{span, EventHandler, EventToken, Scheduler, SimRng, Telemetry};
 use cellrel_types::{
     Apn, DeviceId, InSituInfo, Isp, Rat, RatSet, ServiceState, SimDuration, SimTime,
 };
@@ -230,12 +230,12 @@ pub struct DeviceSim<'a, L: TelephonyListener> {
 
 impl<'a, L: TelephonyListener> DeviceSim<'a, L> {
     /// Build the agent and prime the event queue with its recurring events.
-    pub fn new(
+    pub fn new<Q: Scheduler<WorldEvent>>(
         cfg: DeviceConfig,
         env: &'a RadioEnvironment,
         listener: L,
         rng: SimRng,
-        queue: &mut EventQueue<WorldEvent>,
+        queue: &mut Q,
     ) -> Self {
         let policy = cfg.policy.build();
         let recovery = RecoveryEngine::new(cfg.recovery);
@@ -351,7 +351,7 @@ impl<'a, L: TelephonyListener> DeviceSim<'a, L> {
     /// listeners observe the regular clear sequence). After this, the
     /// device must drain back to healthy service — [`Self::wedged_reason`]
     /// checks that it did.
-    pub fn quiesce(&mut self, queue: &mut EventQueue<WorldEvent>) {
+    pub fn quiesce<Q: Scheduler<WorldEvent>>(&mut self, queue: &mut Q) {
         self.injection_enabled = false;
         if let Some(ep) = &mut self.stall {
             if let Some(tok) = ep.heal_token.take() {
@@ -466,7 +466,7 @@ impl<'a, L: TelephonyListener> DeviceSim<'a, L> {
 
     // ---- recurring-event scheduling -------------------------------------
 
-    fn schedule_next_stall_injection(&mut self, queue: &mut EventQueue<WorldEvent>) {
+    fn schedule_next_stall_injection<Q: Scheduler<WorldEvent>>(&mut self, queue: &mut Q) {
         let mult = self
             .serving_risk
             .map(|r| r.stall_rate_multiplier())
@@ -490,7 +490,7 @@ impl<'a, L: TelephonyListener> DeviceSim<'a, L> {
         queue.schedule_after(wait, WorldEvent::StallInject(condition));
     }
 
-    fn schedule_next_oos(&mut self, queue: &mut EventQueue<WorldEvent>) {
+    fn schedule_next_oos<Q: Scheduler<WorldEvent>>(&mut self, queue: &mut Q) {
         let hazard = self
             .serving_risk
             .map(|r| r.out_of_service_hazard())
@@ -500,7 +500,7 @@ impl<'a, L: TelephonyListener> DeviceSim<'a, L> {
         queue.schedule_after(wait, WorldEvent::OosInject);
     }
 
-    fn schedule_next_voice_call(&mut self, queue: &mut EventQueue<WorldEvent>) {
+    fn schedule_next_voice_call<Q: Scheduler<WorldEvent>>(&mut self, queue: &mut Q) {
         if self.cfg.voice_calls_per_hour <= 0.0 {
             return;
         }
@@ -512,7 +512,7 @@ impl<'a, L: TelephonyListener> DeviceSim<'a, L> {
         queue.schedule_after(wait, WorldEvent::VoiceCall);
     }
 
-    fn schedule_next_sms(&mut self, queue: &mut EventQueue<WorldEvent>) {
+    fn schedule_next_sms<Q: Scheduler<WorldEvent>>(&mut self, queue: &mut Q) {
         if self.cfg.sms_per_hour <= 0.0 {
             return;
         }
@@ -538,7 +538,7 @@ impl<'a, L: TelephonyListener> DeviceSim<'a, L> {
 
     // ---- event handlers ---------------------------------------------------
 
-    fn handle_scan(&mut self, now: SimTime, queue: &mut EventQueue<WorldEvent>) {
+    fn handle_scan<Q: Scheduler<WorldEvent>>(&mut self, now: SimTime, queue: &mut Q) {
         let views = self.env.scan_salted(
             self.pos,
             self.cfg.isp,
@@ -627,7 +627,7 @@ impl<'a, L: TelephonyListener> DeviceSim<'a, L> {
         queue.schedule_after(self.cfg.scan_interval, WorldEvent::ScanAndSelect);
     }
 
-    fn request_setup(&mut self, now: SimTime, queue: &mut EventQueue<WorldEvent>) {
+    fn request_setup<Q: Scheduler<WorldEvent>>(&mut self, now: SimTime, queue: &mut Q) {
         if self.setup_pending || !self.tracker.can_attempt() {
             return;
         }
@@ -635,7 +635,7 @@ impl<'a, L: TelephonyListener> DeviceSim<'a, L> {
         queue.schedule_at(now, WorldEvent::SetupAttempt);
     }
 
-    fn handle_setup_attempt(&mut self, now: SimTime, queue: &mut EventQueue<WorldEvent>) {
+    fn handle_setup_attempt<Q: Scheduler<WorldEvent>>(&mut self, now: SimTime, queue: &mut Q) {
         self.setup_pending = false;
         if self.modem.call().is_some() || !self.tracker.can_attempt() {
             return;
@@ -672,7 +672,7 @@ impl<'a, L: TelephonyListener> DeviceSim<'a, L> {
         }
     }
 
-    fn handle_app_traffic(&mut self, now: SimTime, queue: &mut EventQueue<WorldEvent>) {
+    fn handle_app_traffic<Q: Scheduler<WorldEvent>>(&mut self, now: SimTime, queue: &mut Q) {
         if self.screen_active && self.modem.call().is_some() && self.sst.state().data_possible() {
             let burst = 8 + self.rng.index(20);
             self.stack.app_exchange(now, burst);
@@ -680,7 +680,7 @@ impl<'a, L: TelephonyListener> DeviceSim<'a, L> {
         queue.schedule_after(self.cfg.traffic_interval, WorldEvent::AppTraffic);
     }
 
-    fn handle_stall_poll(&mut self, now: SimTime, queue: &mut EventQueue<WorldEvent>) {
+    fn handle_stall_poll<Q: Scheduler<WorldEvent>>(&mut self, now: SimTime, queue: &mut Q) {
         match self.detector.poll(now, &mut self.stack) {
             Some(true) => {
                 self.stats.stalls_detected += 1;
@@ -708,7 +708,7 @@ impl<'a, L: TelephonyListener> DeviceSim<'a, L> {
     /// Close out the current stall episode (predicate fell). The reported
     /// duration is detection → heal — the span Android (and the monitor's
     /// probing) can observe; pre-detection time is invisible to the device.
-    fn finish_stall(&mut self, now: SimTime, queue: &mut EventQueue<WorldEvent>) {
+    fn finish_stall<Q: Scheduler<WorldEvent>>(&mut self, now: SimTime, queue: &mut Q) {
         if let Some(ep) = self.stall.take() {
             if let Some(detected_at) = ep.detected_at {
                 debug_assert!(detected_at >= ep.onset, "detection precedes onset");
@@ -746,17 +746,17 @@ impl<'a, L: TelephonyListener> DeviceSim<'a, L> {
     /// queue, which could execute a recovery stage early in a later
     /// episode — exactly the regression the campaign's probation invariant
     /// watches for.
-    fn cancel_probation(&mut self, queue: &mut EventQueue<WorldEvent>) {
+    fn cancel_probation<Q: Scheduler<WorldEvent>>(&mut self, queue: &mut Q) {
         if let Some(tok) = self.probation_token.take() {
             queue.cancel(tok);
         }
     }
 
-    fn handle_stall_inject(
+    fn handle_stall_inject<Q: Scheduler<WorldEvent>>(
         &mut self,
         now: SimTime,
         condition: LinkCondition,
-        queue: &mut EventQueue<WorldEvent>,
+        queue: &mut Q,
     ) {
         if !self.injection_enabled {
             return; // quiesced: no new faults, and stop rescheduling
@@ -791,7 +791,7 @@ impl<'a, L: TelephonyListener> DeviceSim<'a, L> {
         self.schedule_next_stall_injection(queue);
     }
 
-    fn heal_link(&mut self, now: SimTime, queue: &mut EventQueue<WorldEvent>) {
+    fn heal_link<Q: Scheduler<WorldEvent>>(&mut self, now: SimTime, queue: &mut Q) {
         self.stack.set_link(LinkCondition::Healthy);
         if let Some(ep) = &mut self.stall {
             ep.healed_at.get_or_insert(now);
@@ -810,7 +810,7 @@ impl<'a, L: TelephonyListener> DeviceSim<'a, L> {
         }
     }
 
-    fn handle_natural_heal(&mut self, now: SimTime, queue: &mut EventQueue<WorldEvent>) {
+    fn handle_natural_heal<Q: Scheduler<WorldEvent>>(&mut self, now: SimTime, queue: &mut Q) {
         if self.stall.is_some() {
             self.heal_link(now, queue);
             if self
@@ -830,7 +830,7 @@ impl<'a, L: TelephonyListener> DeviceSim<'a, L> {
         }
     }
 
-    fn handle_probation_expired(&mut self, now: SimTime, queue: &mut EventQueue<WorldEvent>) {
+    fn handle_probation_expired<Q: Scheduler<WorldEvent>>(&mut self, now: SimTime, queue: &mut Q) {
         self.probation_token = None;
         if !self.recovery.active() {
             return;
@@ -873,11 +873,11 @@ impl<'a, L: TelephonyListener> DeviceSim<'a, L> {
         }
     }
 
-    fn apply_recovery_action(
+    fn apply_recovery_action<Q: Scheduler<WorldEvent>>(
         &mut self,
         now: SimTime,
         action: RecoveryAction,
-        queue: &mut EventQueue<WorldEvent>,
+        queue: &mut Q,
     ) {
         match action {
             RecoveryAction::CleanupConnections => {
@@ -906,7 +906,7 @@ impl<'a, L: TelephonyListener> DeviceSim<'a, L> {
         }
     }
 
-    fn handle_manual_reset(&mut self, now: SimTime, queue: &mut EventQueue<WorldEvent>) {
+    fn handle_manual_reset<Q: Scheduler<WorldEvent>>(&mut self, now: SimTime, queue: &mut Q) {
         let Some(ep) = &mut self.stall else { return };
         ep.reset_token = None;
         self.stats.manual_resets += 1;
@@ -936,7 +936,7 @@ impl<'a, L: TelephonyListener> DeviceSim<'a, L> {
 
     /// Alternate active/idle periods whose mean lengths realise the
     /// configured active fraction (mean cycle: 30 minutes).
-    fn schedule_screen_toggle(&mut self, queue: &mut EventQueue<WorldEvent>) {
+    fn schedule_screen_toggle<Q: Scheduler<WorldEvent>>(&mut self, queue: &mut Q) {
         let cycle_secs = 1800.0;
         let frac = self.cfg.screen_active_fraction.clamp(0.01, 0.99);
         let mean = if self.screen_active {
@@ -948,12 +948,12 @@ impl<'a, L: TelephonyListener> DeviceSim<'a, L> {
         queue.schedule_after(wait, WorldEvent::ScreenToggle);
     }
 
-    fn handle_screen_toggle(&mut self, queue: &mut EventQueue<WorldEvent>) {
+    fn handle_screen_toggle<Q: Scheduler<WorldEvent>>(&mut self, queue: &mut Q) {
         self.screen_active = !self.screen_active;
         self.schedule_screen_toggle(queue);
     }
 
-    fn handle_move(&mut self, now: SimTime, queue: &mut EventQueue<WorldEvent>) {
+    fn handle_move<Q: Scheduler<WorldEvent>>(&mut self, now: SimTime, queue: &mut Q) {
         let next = match self.cfg.mobility {
             MobilityProfile::Stationary => self.pos,
             MobilityProfile::Commuter { work } => {
@@ -994,7 +994,7 @@ impl<'a, L: TelephonyListener> DeviceSim<'a, L> {
         queue.schedule_after(self.cfg.move_interval, WorldEvent::Move);
     }
 
-    fn handle_sms_send(&mut self, now: SimTime, queue: &mut EventQueue<WorldEvent>) {
+    fn handle_sms_send<Q: Scheduler<WorldEvent>>(&mut self, now: SimTime, queue: &mut Q) {
         if let (Some(view), Some(risk)) = (self.modem.serving().copied(), self.serving_risk) {
             let (result, _attempts) = self.sms.send_with_retries(view.rat, &risk, &mut self.rng);
             if result == crate::sms::SmsResult::Failed {
@@ -1005,7 +1005,7 @@ impl<'a, L: TelephonyListener> DeviceSim<'a, L> {
         self.schedule_next_sms(queue);
     }
 
-    fn handle_voice_call(&mut self, now: SimTime, queue: &mut EventQueue<WorldEvent>) {
+    fn handle_voice_call<Q: Scheduler<WorldEvent>>(&mut self, now: SimTime, queue: &mut Q) {
         // Attempt the call setup itself (CS on 2G/3G, VoLTE on 4G/5G).
         if let (Some(view), Some(risk)) = (self.modem.serving().copied(), self.serving_risk) {
             let ok = self.voice.attempt_call(
@@ -1041,7 +1041,7 @@ impl<'a, L: TelephonyListener> DeviceSim<'a, L> {
         self.schedule_next_voice_call(queue);
     }
 
-    fn handle_oos_inject(&mut self, now: SimTime, queue: &mut EventQueue<WorldEvent>) {
+    fn handle_oos_inject<Q: Scheduler<WorldEvent>>(&mut self, now: SimTime, queue: &mut Q) {
         if !self.injection_enabled {
             return; // quiesced: no new outages, and stop rescheduling
         }
@@ -1089,8 +1089,10 @@ fn action_can_fix(condition: LinkCondition, action: RecoveryAction) -> bool {
     }
 }
 
-impl<'a, L: TelephonyListener> EventHandler<WorldEvent> for DeviceSim<'a, L> {
-    fn handle(&mut self, at: SimTime, event: WorldEvent, queue: &mut EventQueue<WorldEvent>) {
+impl<'a, L: TelephonyListener, Q: Scheduler<WorldEvent>> EventHandler<WorldEvent, Q>
+    for DeviceSim<'a, L>
+{
+    fn handle(&mut self, at: SimTime, event: WorldEvent, queue: &mut Q) {
         match event {
             WorldEvent::ScanAndSelect => self.handle_scan(at, queue),
             WorldEvent::SetupAttempt => self.handle_setup_attempt(at, queue),
@@ -1115,6 +1117,7 @@ mod tests {
     use super::*;
     use crate::events::RecordingListener;
     use cellrel_radio::DeploymentConfig;
+    use cellrel_sim::EventQueue;
 
     fn run_device(
         mut cfg: DeviceConfig,
@@ -1139,6 +1142,54 @@ mod tests {
 
     fn base_cfg() -> DeviceConfig {
         DeviceConfig::new(DeviceId(1), Isp::A, Pos::new(0.0, 0.0))
+    }
+
+    /// The scheduler-backend drop-in proof: the full device stack — every
+    /// periodic source (scans, traffic, stall polls, probations, mobility,
+    /// OOS) plus all the cancel-heavy stall bookkeeping — produces a
+    /// bit-identical event log and stats on the timer wheel and on the
+    /// binary-heap queue.
+    #[test]
+    fn wheel_backend_is_bit_identical_to_queue() {
+        use cellrel_sim::TimerWheel;
+
+        let mut cfg = base_cfg();
+        cfg.stall_rate_per_hour = 4.0;
+        cfg.mobility = MobilityProfile::Roamer { radius_km: 3.0 };
+        let horizon = SimTime::from_secs(24 * 3600);
+
+        let mut world_rng = SimRng::new(77);
+        let env = RadioEnvironment::generate(DeploymentConfig::small(), &mut world_rng);
+        cfg.home = env.city_centers()[0];
+
+        let mut queue = EventQueue::new();
+        let mut on_queue = DeviceSim::new(
+            cfg.clone(),
+            &env,
+            RecordingListener::default(),
+            SimRng::for_substream(77, 1),
+            &mut queue,
+        );
+        let n_queue = queue.run_until(&mut on_queue, horizon);
+
+        let mut wheel = TimerWheel::new();
+        let mut on_wheel = DeviceSim::new(
+            cfg,
+            &env,
+            RecordingListener::default(),
+            SimRng::for_substream(77, 1),
+            &mut wheel,
+        );
+        let n_wheel = wheel.run_until(&mut on_wheel, horizon);
+
+        assert_eq!(n_queue, n_wheel, "dispatch counts diverged");
+        assert_eq!(on_queue.stats(), on_wheel.stats(), "stats diverged");
+        let log_q = on_queue.into_listener().log;
+        let log_w = on_wheel.into_listener().log;
+        assert_eq!(log_q.len(), log_w.len(), "log lengths diverged");
+        for (i, (a, b)) in log_q.iter().zip(log_w.iter()).enumerate() {
+            assert_eq!(a, b, "log diverged at entry {i}");
+        }
     }
 
     #[test]

@@ -12,7 +12,7 @@
 
 use cellrel_monitor::MonitoringService;
 use cellrel_radio::{DeploymentConfig, RadioEnvironment};
-use cellrel_sim::{resolve_threads, run_sharded_merge, EventQueue, Merge, SimRng};
+use cellrel_sim::{resolve_threads, run_sharded_merge, Merge, SimRng, TimerWheel};
 use cellrel_telephony::{DeviceConfig, DeviceSim, RatPolicyKind, RecoveryConfig};
 use cellrel_types::{DeviceId, FailureKind, Isp, Rat, RatSet, SimTime};
 use std::collections::HashSet;
@@ -180,7 +180,10 @@ fn run_arm(
             }
 
             let monitor = MonitoringService::new(DeviceId(i as u32), dev_rng.fork(1));
-            let mut queue = EventQueue::new();
+            // Timer-wheel backend: O(1) schedule/cancel instead of the heap's
+            // O(log n). Bit-identical to `EventQueue` (see the device-sim
+            // drop-in test and the kernel equivalence proptest).
+            let mut queue = TimerWheel::new();
             let mut sim = DeviceSim::new(dc, &env, monitor, dev_rng.fork(2), &mut queue);
             queue.run_until(&mut sim, horizon);
 

@@ -30,8 +30,8 @@ use cellrel_sim::campaign::{
     run_campaign, CampaignReport, Invariant, InvariantRegistry, ScenarioOutcome,
 };
 use cellrel_sim::{
-    resolve_threads, run_sharded, EventHandler, EventQueue, Merge, MetricsSnapshot, SimRng,
-    Telemetry,
+    resolve_threads, run_sharded, EventHandler, Merge, MetricsSnapshot, SimRng, Telemetry,
+    TimerWheel,
 };
 use cellrel_telephony::{
     DeviceConfig, DeviceSim, DeviceStats, MobilityProfile, RatPolicyKind, RecordingBoth,
@@ -538,7 +538,10 @@ where
     let env = RadioEnvironment::generate(DeploymentConfig::small(), &mut env_rng);
     let device_cfg = scenario.device_config(&env, &mut rng);
 
-    let mut queue = EventQueue::new();
+    // Timer-wheel backend: the chaos grid doubles as a stress test for the
+    // wheel's cancel-heavy paths (probations, heal timers, manual resets),
+    // with every invariant checked after each event.
+    let mut queue = TimerWheel::new();
     let listener = RecordingBoth::new(MonitoringService::new(device_cfg.id, rng.fork(1)));
     let mut dev = DeviceSim::new(device_cfg, &env, listener, rng.fork(2), &mut queue);
     dev.set_telemetry(tele);

@@ -25,6 +25,7 @@ pub mod bs_assign;
 pub mod chaos;
 pub mod durations;
 pub mod exposure;
+pub mod fleet;
 pub mod fleet_metrics;
 pub mod guidelines;
 pub mod models;
@@ -37,6 +38,7 @@ pub use chaos::{
     default_registry, replay_scenario, run_chaos_campaign, run_chaos_campaign_metrics,
     run_scenario, run_scenario_telemetry, run_scenario_with, ChaosConfig, ChaosScenario, StepView,
 };
+pub use fleet::{run_fleet_event_driven, run_fleet_per_tick, FleetConfig, FleetReport};
 pub use fleet_metrics::{run_fleet_metrics, FleetMetrics};
 pub use models::{PhoneModelSpec, MODELS};
 pub use population::{DeviceProfile, Population, PopulationConfig};

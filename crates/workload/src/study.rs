@@ -132,7 +132,7 @@ impl StudyDataset {
 /// RAT usage mix for failures, by device capability. Non-5G devices live
 /// mostly on 4G with legacy fallback; 5G devices (all Android 10, blind 5G
 /// preference during the measurement period) shift a large share onto 5G.
-fn rat_mix(has_5g: bool) -> ([Rat; 4], [f64; 4]) {
+pub(crate) fn rat_mix(has_5g: bool) -> ([Rat; 4], [f64; 4]) {
     const RATS: [Rat; 4] = [Rat::G2, Rat::G3, Rat::G4, Rat::G5];
     if has_5g {
         (RATS, [0.05, 0.03, 0.52, 0.40])

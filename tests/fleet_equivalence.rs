@@ -1,0 +1,159 @@
+//! Equivalence and golden tests for the event-driven fleet scheduler.
+//!
+//! The tentpole claim of the fleet engine is that three very different
+//! execution strategies produce **bit-identical** output:
+//!
+//! * the per-tick scanner, at *any* tick size (the per-second baseline the
+//!   event-driven driver replaces);
+//! * the timer-wheel event-driven driver;
+//! * any shard layout of either (1, 2 or 8 threads).
+//!
+//! The golden snapshot pins the seed-2021 fleet digest byte-for-byte so a
+//! behaviour change in any layer under it — wheel ordering, RNG
+//! substreams, the thinning sampler, the RAT jump process, the duration
+//! samplers — surfaces as a readable diff. When a change is intentional:
+//!
+//! ```sh
+//! CELLREL_BLESS=1 cargo test -q --test fleet_equivalence
+//! git diff tests/golden/fleet_sim_seed2021.txt
+//! ```
+
+use std::path::PathBuf;
+
+use cellrel::types::SimDuration;
+use cellrel::workload::{
+    run_fleet_event_driven, run_fleet_per_tick, FleetConfig, FleetReport, PopulationConfig,
+};
+
+/// The golden configuration: seed-2021, 4 000 devices, 14 days — small
+/// enough for debug-profile CI, large enough to exercise every source.
+fn golden_config() -> FleetConfig {
+    FleetConfig {
+        population: PopulationConfig {
+            devices: 4_000,
+            ..Default::default()
+        },
+        days: 14,
+        bs_count: 2_000,
+        seed: 2021,
+        ..FleetConfig::default()
+    }
+}
+
+fn small_config() -> FleetConfig {
+    FleetConfig {
+        population: PopulationConfig {
+            devices: 1_200,
+            ..Default::default()
+        },
+        days: 5,
+        bs_count: 800,
+        seed: 2021,
+        ..FleetConfig::default()
+    }
+}
+
+fn golden_path() -> PathBuf {
+    // CARGO_MANIFEST_DIR is crates/core (the facade owns the root tests/).
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden/fleet_sim_seed2021.txt")
+}
+
+fn render_report(cfg: &FleetConfig, r: &FleetReport) -> String {
+    format!(
+        "fleet seed-{} {} devices x {} days (dwell {} ms)\n\
+         digest: {:016x}\n\
+         events: {}\n\
+         candidates: {}\n\
+         failures: {}\n\
+         radio_events: {}\n\
+         rat_changes: {}\n\
+         metrics_digest: {:016x}\n",
+        cfg.seed,
+        r.devices,
+        r.days,
+        cfg.mean_rat_dwell_ms,
+        r.digest,
+        r.events(),
+        r.candidates,
+        r.failures,
+        r.radio_events,
+        r.rat_changes,
+        r.metrics.digest(),
+    )
+}
+
+#[test]
+fn fleet_digest_matches_golden_snapshot() {
+    let cfg = golden_config();
+    let r = run_fleet_event_driven(&cfg, 0);
+    let actual = render_report(&cfg, &r);
+    let path = golden_path();
+
+    if std::env::var_os("CELLREL_BLESS").is_some() {
+        std::fs::write(&path, &actual).expect("write golden snapshot");
+        eprintln!("blessed {}", path.display());
+        return;
+    }
+
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden snapshot {} ({e}); generate it with \
+             CELLREL_BLESS=1 cargo test -q --test fleet_equivalence",
+            path.display()
+        )
+    });
+    assert_eq!(
+        actual, expected,
+        "fleet golden snapshot diverged; if intentional: \
+         CELLREL_BLESS=1 cargo test -q --test fleet_equivalence"
+    );
+}
+
+/// The per-second baseline and the event-driven driver are the same
+/// simulation: identical digests, counts and metrics — at several tick
+/// sizes, including one that doesn't divide the horizon.
+#[test]
+fn event_driven_equals_per_tick_baseline() {
+    let cfg = small_config();
+    let base = run_fleet_event_driven(&cfg, 1);
+    assert!(base.failures > 0, "small fleet produced no failures");
+    for tick in [
+        SimDuration::from_secs(40),
+        SimDuration::from_mins(17),
+        SimDuration::from_hours(6),
+    ] {
+        let scan = run_fleet_per_tick(&cfg, tick, 1);
+        assert_eq!(scan.digest, base.digest, "digest diverged at tick {tick}");
+        assert_eq!(scan.candidates, base.candidates, "tick {tick}");
+        assert_eq!(scan.failures, base.failures, "tick {tick}");
+        assert_eq!(scan.radio_events, base.radio_events, "tick {tick}");
+        assert_eq!(
+            scan.metrics.digest(),
+            base.metrics.digest(),
+            "metrics diverged at tick {tick}"
+        );
+        assert_eq!(scan.metrics, base.metrics, "tick {tick}");
+    }
+}
+
+/// The acceptance-criterion witness: the fleet digest is bit-identical at
+/// 1, 2 and 8 threads, for both drivers.
+#[test]
+fn fleet_digest_thread_invariant() {
+    let cfg = small_config();
+    let base = run_fleet_event_driven(&cfg, 1);
+    let tick = SimDuration::from_mins(30);
+    let base_scan = run_fleet_per_tick(&cfg, tick, 1);
+    assert_eq!(base.digest, base_scan.digest);
+    for threads in [2usize, 8] {
+        let ev = run_fleet_event_driven(&cfg, threads);
+        assert_eq!(ev.digest, base.digest, "event-driven at {threads} threads");
+        assert_eq!(
+            ev.metrics, base.metrics,
+            "event-driven at {threads} threads"
+        );
+        let scan = run_fleet_per_tick(&cfg, tick, threads);
+        assert_eq!(scan.digest, base.digest, "per-tick at {threads} threads");
+        assert_eq!(scan.metrics, base.metrics, "per-tick at {threads} threads");
+    }
+}
