@@ -14,43 +14,54 @@ use crate::per_model::ModelStats;
 use crate::table1::{self, Table1};
 use crate::table2::{self, Table2};
 use cellrel_ingest::codec::unzigzag;
-use cellrel_store::{Dim, Filter, Metric, Query, QueryError, Store};
+use cellrel_store::{Dim, Filter, Metric, Query, QueryError, ResultSet, Store};
 use cellrel_types::{DataFailCause, FailureKind, PhoneModelId};
 
-/// Per-model stats ([`ModelStats`]) recovered from store queries: devices
-/// and failing devices from the device directory, failure totals from the
-/// cube cells — the same numerators and denominators the batch
-/// [`crate::per_model::compute`] derives from the raw dataset.
-pub fn model_stats_from_store(store: &Store) -> Result<Vec<ModelStats>, QueryError> {
-    // Model keys are `PhoneModelId.0` (1-based; 0 = unknown). Index by key.
-    let mut devices = [0u64; 35];
-    let mut failing = [0u64; 35];
-    let mut failures = [0u64; 35];
-
-    let by_model = |metric| Query {
+/// The three per-model queries behind Table 1, in the order
+/// [`model_stats_from_results`] consumes them: devices, failing devices,
+/// failure counts — all grouped by [`Dim::Model`]. Any query path (the
+/// in-process adapters here, or a queryd wire client) that evaluates these
+/// and feeds the shared constructors renders byte-identical tables.
+pub fn table1_queries() -> [Query; 3] {
+    [Metric::Devices, Metric::FailingDevices, Metric::Count].map(|metric| Query {
         filters: Vec::new(),
         group_by: vec![Dim::Model],
         window_ms: 0,
         metric,
         top_k: 0,
-    };
-    for r in store.query(&by_model(Metric::Devices))?.rows {
-        if let Some(slot) = devices.get_mut(r.key[0] as usize) {
-            *slot = r.count;
-        }
-    }
-    for r in store.query(&by_model(Metric::FailingDevices))?.rows {
-        if let Some(slot) = failing.get_mut(r.key[0] as usize) {
-            *slot = r.count;
-        }
-    }
-    for r in store.query(&by_model(Metric::Count))?.rows {
-        if let Some(slot) = failures.get_mut(r.key[0] as usize) {
-            *slot = r.count;
-        }
-    }
+    })
+}
 
-    Ok(PhoneModelId::all()
+/// The one query behind Table 2: `Data_Setup_Error` records that carried a
+/// cause, grouped by cause code. Feed the answer to
+/// [`table2_from_result`].
+pub fn table2_query() -> Query {
+    Query {
+        filters: vec![Filter::Kind(FailureKind::DataSetupError), Filter::HasCause],
+        group_by: vec![Dim::Cause],
+        window_ms: 0,
+        metric: Metric::Count,
+        top_k: 0,
+    }
+}
+
+/// Per-model stats ([`ModelStats`]) assembled from the answers to
+/// [`table1_queries`] (same order): devices and failing devices from the
+/// device directory, failure totals from the cube cells — the same
+/// numerators and denominators the batch [`crate::per_model::compute`]
+/// derives from the raw dataset.
+pub fn model_stats_from_results(results: &[ResultSet; 3]) -> Vec<ModelStats> {
+    // Model keys are `PhoneModelId.0` (1-based; 0 = unknown). Index by key.
+    let mut tallies = [[0u64; 35]; 3];
+    for (tally, rs) in tallies.iter_mut().zip(results) {
+        for r in &rs.rows {
+            if let Some(slot) = r.key.first().and_then(|k| tally.get_mut(*k as usize)) {
+                *slot = r.count;
+            }
+        }
+    }
+    let [devices, failing, failures] = tallies;
+    PhoneModelId::all()
         .map(|id| {
             let m = id.0 as usize;
             let n = devices[m].max(1) as f64;
@@ -61,7 +72,36 @@ pub fn model_stats_from_store(store: &Store) -> Result<Vec<ModelStats>, QueryErr
                 frequency: failures[m] as f64 / n,
             }
         })
-        .collect())
+        .collect()
+}
+
+/// Table 1 assembled from the answers to [`table1_queries`].
+pub fn table1_from_results(results: &[ResultSet; 3]) -> Table1 {
+    table1::from_stats(model_stats_from_results(results))
+}
+
+/// Table 2 assembled from the answer to [`table2_query`].
+pub fn table2_from_result(rs: &ResultSet, k: usize) -> Table2 {
+    let mut total = 0u64;
+    let counts: Vec<(DataFailCause, u64)> = rs
+        .rows
+        .iter()
+        .map(|r| {
+            total += r.count;
+            // `Dim::Cause` keys use the wire encoding: `1 + zigzag(code)`.
+            let key = r.key.first().copied().unwrap_or(1);
+            let code = unzigzag(key.max(1) - 1) as i32;
+            (DataFailCause::from_code(code), r.count)
+        })
+        .collect();
+    table2::from_cause_counts(counts, total, k)
+}
+
+/// [`model_stats_from_results`] over in-process queries.
+pub fn model_stats_from_store(store: &Store) -> Result<Vec<ModelStats>, QueryError> {
+    let [d, f, c] = table1_queries();
+    let results = [store.query(&d)?, store.query(&f)?, store.query(&c)?];
+    Ok(model_stats_from_results(&results))
 }
 
 /// Table 1 served from store queries; byte-identical to
@@ -70,29 +110,10 @@ pub fn table1_from_store(store: &Store) -> Result<Table1, QueryError> {
     Ok(table1::from_stats(model_stats_from_store(store)?))
 }
 
-/// Table 2 served from one store query (`Data_Setup_Error` records with a
-/// cause, grouped by cause code); byte-identical to [`table2::compute`] on
-/// the same fleet.
+/// Table 2 served from one store query; byte-identical to
+/// [`table2::compute`] on the same fleet.
 pub fn table2_from_store(store: &Store, k: usize) -> Result<Table2, QueryError> {
-    let rs = store.query(&Query {
-        filters: vec![Filter::Kind(FailureKind::DataSetupError), Filter::HasCause],
-        group_by: vec![Dim::Cause],
-        window_ms: 0,
-        metric: Metric::Count,
-        top_k: 0,
-    })?;
-    let mut total = 0u64;
-    let counts: Vec<(DataFailCause, u64)> = rs
-        .rows
-        .iter()
-        .map(|r| {
-            total += r.count;
-            // `Dim::Cause` keys use the wire encoding: `1 + zigzag(code)`.
-            let code = unzigzag(r.key[0] - 1) as i32;
-            (DataFailCause::from_code(code), r.count)
-        })
-        .collect();
-    Ok(table2::from_cause_counts(counts, total, k))
+    Ok(table2_from_result(&store.query(&table2_query())?, k))
 }
 
 #[cfg(test)]

@@ -30,11 +30,7 @@
 use cellrel::analysis::store_tables::{table1_from_store, table2_from_store};
 use cellrel::analysis::{export::result_set_csv, render_metrics};
 use cellrel::sim::Telemetry;
-use cellrel::store::{
-    build_sharded, restore_store, save_store, DeviceDirectory, Dim, Filter, Metric, Query,
-    StoreConfig,
-};
-use cellrel::types::{FailureKind, Isp, Rat};
+use cellrel::store::{build_sharded, restore_store, save_store, DeviceDirectory, StoreConfig};
 use cellrel::workload::{run_macro_study, PopulationConfig, StudyConfig};
 use std::time::Instant;
 
@@ -56,113 +52,6 @@ fn parse_switch(args: &mut Vec<String>, flag: &str) -> bool {
     } else {
         false
     }
-}
-
-/// The mixed workload: one of each query shape the engine supports.
-fn workload(week_ms: u64) -> Vec<(&'static str, Query)> {
-    vec![
-        ("count_all", Query::count_by(vec![])),
-        (
-            "count_by_kind_isp",
-            Query::count_by(vec![Dim::Kind, Dim::Isp]),
-        ),
-        (
-            "weekly_setup_errors",
-            Query {
-                filters: vec![Filter::Kind(FailureKind::DataSetupError)],
-                group_by: vec![Dim::Time],
-                window_ms: week_ms,
-                metric: Metric::Count,
-                top_k: 0,
-            },
-        ),
-        (
-            "mean_duration_by_rat",
-            Query {
-                filters: vec![],
-                group_by: vec![Dim::Rat],
-                window_ms: 0,
-                metric: Metric::MeanDurationMs,
-                top_k: 0,
-            },
-        ),
-        (
-            "p95_duration_by_isp",
-            Query {
-                filters: vec![],
-                group_by: vec![Dim::Isp],
-                window_ms: 0,
-                metric: Metric::QuantileMs(0.95),
-                top_k: 0,
-            },
-        ),
-        (
-            "top5_setup_causes",
-            Query {
-                filters: vec![Filter::Kind(FailureKind::DataSetupError), Filter::HasCause],
-                group_by: vec![Dim::Cause],
-                window_ms: 0,
-                metric: Metric::Count,
-                top_k: 5,
-            },
-        ),
-        (
-            "cause_class_mix_4g",
-            Query {
-                filters: vec![Filter::Rat(Rat::G4), Filter::HasCause],
-                group_by: vec![Dim::CauseClass],
-                window_ms: 0,
-                metric: Metric::Count,
-                top_k: 0,
-            },
-        ),
-        (
-            "under_30s_share_by_region",
-            Query {
-                filters: vec![],
-                group_by: vec![Dim::Region],
-                window_ms: 0,
-                metric: Metric::Under30sShare,
-                top_k: 0,
-            },
-        ),
-        (
-            "first_week_stalls_by_isp",
-            Query {
-                filters: vec![
-                    Filter::TimeRange {
-                        start_ms: 0,
-                        end_ms: week_ms,
-                    },
-                    Filter::Kind(FailureKind::DataStall),
-                ],
-                group_by: vec![Dim::Isp],
-                window_ms: 0,
-                metric: Metric::Count,
-                top_k: 0,
-            },
-        ),
-        (
-            "devices_by_model",
-            Query {
-                filters: vec![],
-                group_by: vec![Dim::Model],
-                window_ms: 0,
-                metric: Metric::Devices,
-                top_k: 0,
-            },
-        ),
-        (
-            "failing_devices_isp_a",
-            Query {
-                filters: vec![Filter::Isp(Isp::A)],
-                group_by: vec![Dim::Region],
-                window_ms: 0,
-                metric: Metric::FailingDevices,
-                top_k: 0,
-            },
-        ),
-    ]
 }
 
 fn main() {
@@ -224,7 +113,7 @@ fn main() {
     // The deterministic face of the run: per-query row/record totals on
     // stdout (CI diffs this), timings on stderr.
     let week_ms = u64::from(store.config().rollup_buckets) * store.config().bucket_ms;
-    let queries = workload(week_ms);
+    let queries = cellrel_bench::queries::canonical(week_ms);
     let tele = if metrics {
         Telemetry::enabled()
     } else {

@@ -1,0 +1,268 @@
+//! `queryd` — stand up the query daemon on a local TCP port, hammer it
+//! with N concurrent clients while a live ingest feed publishes snapshots,
+//! and prove the served Table 1 / Table 2 are byte-identical to the batch
+//! analysis of the same fleet.
+//!
+//! ```sh
+//! cargo run --release -p cellrel-bench --bin queryd -- --clients 4
+//! cargo run --release -p cellrel-bench --bin queryd -- --clients 2 --rounds 5
+//! ```
+//!
+//! Flags: `--devices N` (default 3,000), `--days D` (default 14), `--seed S`
+//! (default 2021), `--clients C` (concurrent TCP clients, default 4),
+//! `--rounds R` (workload repetitions per client, default 20), `--chunk K`
+//! (publish a snapshot every K ingested events; 0 = events/16),
+//! `--metrics` (print the server's request-metrics tables).
+//!
+//! While the feed is appending, a probe client repeatedly fetches the four
+//! table queries pinned to a single epoch — snapshot isolation means every
+//! pinned set is internally consistent mid-ingest. After the final publish
+//! the served tables must render byte-for-byte equal to
+//! `analysis::table1/table2::compute` on the raw dataset; the process
+//! exits non-zero otherwise. Deterministic results (identity verdicts,
+//! error counts, the final store digest) go to stdout; throughput and
+//! latency (queries/s, p50/p99 µs) go to stderr and `BENCH_queryd.json`.
+
+// Wall-clock is the *measurement* here (queries/s, latency), not
+// simulation state — benches are outside the Instant/SystemTime gate.
+#![allow(clippy::disallowed_types)]
+
+use cellrel::analysis::store_tables::{
+    table1_from_results, table1_queries, table2_from_result, table2_query,
+};
+use cellrel::analysis::table1::Table1;
+use cellrel::analysis::table2::Table2;
+use cellrel::analysis::{render_metrics, table1, table2};
+use cellrel::queryd::{feed_events, serve, QuerydCore, TcpClient, WallClock};
+use cellrel::sim::{Merge, QuantileSketch};
+use cellrel::store::{DeviceDirectory, Store, StoreConfig};
+use cellrel::workload::{run_macro_study, PopulationConfig, StudyConfig};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+fn parse_flag<T: std::str::FromStr>(args: &mut Vec<String>, flag: &str) -> Option<T> {
+    let pos = args.iter().position(|a| a == flag)?;
+    let value = args
+        .get(pos + 1)
+        .unwrap_or_else(|| panic!("{flag} needs a value"))
+        .parse::<T>()
+        .unwrap_or_else(|_| panic!("{flag}: bad value"));
+    args.drain(pos..pos + 2);
+    Some(value)
+}
+
+fn parse_switch(args: &mut Vec<String>, flag: &str) -> bool {
+    if let Some(pos) = args.iter().position(|a| a == flag) {
+        args.remove(pos);
+        true
+    } else {
+        false
+    }
+}
+
+/// Fetch the four table queries pinned to one snapshot epoch. Returns
+/// `None` if a publish landed between queries (callers retry) or a query
+/// failed.
+fn fetch_tables(client: &mut TcpClient) -> Option<(Table1, Table2, u64)> {
+    let [qd, qf, qc] = table1_queries();
+    let (e1, devices) = client.query(&qd).ok()?;
+    let (e2, failing) = client.query(&qf).ok()?;
+    let (e3, counts) = client.query(&qc).ok()?;
+    let (e4, causes) = client.query(&table2_query()).ok()?;
+    (e1 == e2 && e2 == e3 && e3 == e4).then(|| {
+        (
+            table1_from_results(&[devices, failing, counts]),
+            table2_from_result(&causes, 10),
+            e1,
+        )
+    })
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let devices = parse_flag::<usize>(&mut args, "--devices").unwrap_or(3_000);
+    let days = parse_flag::<u64>(&mut args, "--days").unwrap_or(14);
+    let seed = parse_flag::<u64>(&mut args, "--seed").unwrap_or(2021);
+    let clients = parse_flag::<usize>(&mut args, "--clients")
+        .unwrap_or(4)
+        .max(1);
+    let rounds = parse_flag::<usize>(&mut args, "--rounds")
+        .unwrap_or(20)
+        .max(1);
+    let chunk = parse_flag::<usize>(&mut args, "--chunk").unwrap_or(0);
+    let metrics = parse_switch(&mut args, "--metrics");
+    assert!(args.is_empty(), "unrecognised arguments: {args:?}");
+
+    let cfg = StudyConfig {
+        population: PopulationConfig {
+            devices,
+            ..Default::default()
+        },
+        days,
+        bs_count: 2_000,
+        seed,
+    };
+    eprintln!("queryd: generating {devices} devices over {days} days (seed {seed}) ...");
+    let t0 = Instant::now();
+    let data = run_macro_study(&cfg);
+    let dir = DeviceDirectory::from_population(&data.population);
+    let chunk = if chunk == 0 {
+        (data.events.len() / 16).max(1)
+    } else {
+        chunk
+    };
+    eprintln!(
+        "queryd: {} events in {:.2} s; publishing every {chunk} events",
+        data.events.len(),
+        t0.elapsed().as_secs_f64()
+    );
+
+    // The batch ground truth the served tables must reproduce exactly.
+    let batch_t1 = table1::compute(&data);
+    let batch_t2 = table2::compute(&data, 10);
+
+    // The server starts on an *empty* store; everything it ever serves
+    // arrives through the live feed.
+    let store_cfg = StoreConfig::default();
+    let clock: WallClock = {
+        let base = Instant::now();
+        Arc::new(move || base.elapsed().as_micros() as u64)
+    };
+    let core = QuerydCore::with_clock(Store::new(&store_cfg), clock);
+    let server = serve(core.clone(), "127.0.0.1:0").expect("bind queryd");
+    let addr = server.addr();
+    eprintln!("queryd: serving on {addr} with {clients} clients x {rounds} rounds");
+
+    let week_ms = u64::from(store_cfg.rollup_buckets) * store_cfg.bucket_ms;
+    let queries = cellrel_bench::queries::canonical(week_ms);
+
+    let feeding = AtomicBool::new(true);
+    let t_serve = Instant::now();
+    let mut latency = QuantileSketch::new();
+    let mut executed = 0u64;
+    let mut errors = 0u64;
+    let mut final_epoch = 0u64;
+    let mut mid_feed_sets = 0u64;
+    std::thread::scope(|s| {
+        let feed = s.spawn(|| {
+            let epoch = feed_events(&core, &store_cfg, &dir, &data.events, chunk, |_| {});
+            feeding.store(false, Ordering::Release);
+            epoch
+        });
+        // Probe: epoch-pinned table sets while ingest is appending.
+        let probe = s.spawn(|| {
+            let mut client = TcpClient::connect(addr).expect("probe connect");
+            let mut consistent = 0u64;
+            while feeding.load(Ordering::Acquire) {
+                if fetch_tables(&mut client).is_some() {
+                    consistent += 1;
+                }
+            }
+            consistent
+        });
+        let workers: Vec<_> = (0..clients)
+            .map(|_| {
+                let queries = &queries;
+                s.spawn(move || {
+                    let mut client = TcpClient::connect(addr).expect("client connect");
+                    let mut lat = QuantileSketch::new();
+                    let mut n = 0u64;
+                    let mut errs = 0u64;
+                    for _ in 0..rounds {
+                        for (name, q) in queries {
+                            let t = Instant::now();
+                            match client.query(q) {
+                                Ok(_) => {}
+                                Err(e) => {
+                                    errs += 1;
+                                    eprintln!("queryd: client error on {name}: {e}");
+                                }
+                            }
+                            lat.push(t.elapsed().as_micros() as u64);
+                            n += 1;
+                        }
+                    }
+                    (lat, n, errs)
+                })
+            })
+            .collect();
+        for w in workers {
+            let (lat, n, errs) = w.join().expect("client thread");
+            latency.merge(lat);
+            executed += n;
+            errors += errs;
+        }
+        final_epoch = feed.join().expect("feed thread");
+        mid_feed_sets = probe.join().expect("probe thread");
+    });
+    let serve_elapsed = t_serve.elapsed();
+
+    // Final identity check over the wire, pinned to the final epoch.
+    let mut client = TcpClient::connect(addr).expect("verify connect");
+    let (t1_wire, t2_wire, epoch) = fetch_tables(&mut client).expect("post-feed tables");
+    assert_eq!(epoch, final_epoch, "no publishes after the feed finished");
+    let t1_ok = t1_wire.render() == batch_t1.render();
+    let t2_ok = t2_wire.render() == batch_t2.render();
+    println!(
+        "queryd: served table1 identical to batch: {}",
+        verdict(t1_ok)
+    );
+    println!(
+        "queryd: served table2 identical to batch: {}",
+        verdict(t2_ok)
+    );
+    println!("queryd: client errors: {errors}");
+
+    let stats = client.stats().expect("server stats");
+    let snap = core.snapshot();
+    eprintln!(
+        "queryd: epoch {} serving {} cells / {} devices / {} records; {} requests ({} mid-feed pinned table sets)",
+        stats.epoch, stats.cells, stats.devices, stats.inserted, stats.requests_served, mid_feed_sets,
+    );
+    let qps = executed as f64 / serve_elapsed.as_secs_f64().max(1e-9);
+    let p50 = latency.quantile(0.5).unwrap_or(0);
+    let p99 = latency.quantile(0.99).unwrap_or(0);
+    eprintln!(
+        "queryd: {executed} queries from {clients} clients in {:.2} s ({qps:.0} queries/s, p50 {p50} us, p99 {p99} us)",
+        serve_elapsed.as_secs_f64(),
+    );
+
+    if metrics {
+        println!();
+        print!("{}", render_metrics(&core.metrics().snapshot()));
+    }
+    println!("digest: {:016x}", snap.store.digest());
+    server.shutdown();
+
+    if !(t1_ok && t2_ok) || errors > 0 {
+        eprintln!("queryd: FAIL — served tables diverged from batch or clients saw errors");
+        std::process::exit(1);
+    }
+
+    let snap = cellrel_bench::BenchSnapshot::new("queryd")
+        .config("devices", devices)
+        .config("days", days)
+        .config("seed", seed)
+        .config("clients", clients)
+        .config("rounds", rounds)
+        .config("chunk", chunk)
+        .metric("queries", executed as f64)
+        .metric("queries_per_sec", qps)
+        .metric("p50_latency_us", p50 as f64)
+        .metric("p99_latency_us", p99 as f64)
+        .metric("errors", errors as f64)
+        .metric("final_epoch", final_epoch as f64)
+        .metric("mid_feed_table_sets", mid_feed_sets as f64)
+        .wall_seconds(t0.elapsed().as_secs_f64());
+    let path = snap.write().expect("write bench snapshot");
+    eprintln!("queryd: wrote {}", path.display());
+}
+
+fn verdict(ok: bool) -> &'static str {
+    if ok {
+        "ok"
+    } else {
+        "MISMATCH"
+    }
+}

@@ -10,6 +10,7 @@
 use cellrel::workload::{run_macro_study, PopulationConfig, StudyConfig, StudyDataset};
 use std::sync::OnceLock;
 
+pub mod queries;
 pub mod snapshot;
 
 pub use snapshot::{BenchSnapshot, SCHEMA_VERSION};

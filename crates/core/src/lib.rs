@@ -21,6 +21,7 @@
 //! | [`monitor`] | `cellrel-monitor` | Android-MOD: filtering, probing, traces, overhead |
 //! | [`ingest`] | `cellrel-ingest` | backend ingestion: wire codec, sharded collector, sketches |
 //! | [`store`] | `cellrel-store` | embedded analytics cube: mergeable partitions, query engine |
+//! | [`queryd`] | `cellrel-queryd` | query daemon: framed wire protocol, snapshot-isolated server, TCP + in-process transports |
 //! | [`timp`] | `cellrel-timp` | TIMP model + annealing optimizer |
 //! | [`workload`] | `cellrel-workload` | calibrated population, macro study, A/B drivers |
 //! | [`analysis`] | `cellrel-analysis` | per-table/figure estimators and renderers |
@@ -50,6 +51,7 @@ pub use cellrel_ingest as ingest;
 pub use cellrel_modem as modem;
 pub use cellrel_monitor as monitor;
 pub use cellrel_netstack as netstack;
+pub use cellrel_queryd as queryd;
 pub use cellrel_radio as radio;
 pub use cellrel_sim as sim;
 pub use cellrel_store as store;
@@ -76,6 +78,7 @@ mod tests {
         let _ = crate::monitor::ProbeSession;
         let _ = crate::ingest::CollectorConfig::default();
         let _ = crate::store::StoreConfig::default();
+        let _ = crate::queryd::Request::Ping;
         let _ = crate::timp::AnnealConfig::default();
         let _ = crate::workload::StudyConfig::small();
         let _ = crate::analysis::Table::new("t", &["a"]);

@@ -1,0 +1,823 @@
+//! The queryd wire protocol: framed, CRC-checked, varint-encoded
+//! request/response messages carrying the store's typed [`Query`] and
+//! [`ResultSet`].
+//!
+//! A message is one **frame**:
+//!
+//! ```text
+//! magic "CQ" (2) | version (1) | kind (1) | payload (varint fields) | CRC-32 LE (4)
+//! ```
+//!
+//! The CRC covers everything before it. The transport layer additionally
+//! prefixes each frame with its `u32` little-endian length (see
+//! [`crate::net`]); the frame itself is self-delimiting only through the
+//! payload grammar, so decoding always ends with a trailing-bytes check.
+//!
+//! **Totality.** Decoding is total: truncated, bit-flipped, length-lying or
+//! garbage input returns a typed [`ProtoError`] — never a panic, never a
+//! read past the buffer, never an allocation larger than the input could
+//! justify (counts are sanity-bounded against the remaining payload before
+//! any `Vec` is sized, mirroring `cellrel-ingest`'s codec discipline).
+//!
+//! **Stability.** The numeric encodings of dimensions ([`Dim::index`]),
+//! filters, metrics and error codes are frozen wire contract — the golden
+//! frame snapshot (`tests/golden/queryd_frames_seed2021.txt`) fails loudly
+//! on any accidental change. Version negotiation is a single byte: a server
+//! answers a frame with an unexpected version byte with error code
+//! [`ERR_VERSION`] and never attempts to parse its payload.
+
+use cellrel_ingest::codec::{crc32, read_varint, unzigzag, write_varint, zigzag};
+use cellrel_store::{Dim, Filter, Metric, Query, QueryError, Region, ResultRow, ResultSet};
+use cellrel_types::{DataFailCause, FailureKind, FailureLayer, Isp, PhoneModelId, Rat};
+use std::fmt;
+
+/// Frame magic, `"CQ"`.
+pub const MAGIC: [u8; 2] = *b"CQ";
+
+/// Protocol version byte. Bump on any wire-incompatible change.
+pub const VERSION: u8 = 1;
+
+/// Hard ceiling on a single frame (16 MiB). The transport refuses to
+/// allocate a body larger than this no matter what the length prefix
+/// claims, and the server answers such prefixes with [`ERR_TOO_LARGE`].
+pub const MAX_FRAME_LEN: usize = 1 << 24;
+
+/// Smallest possible frame: magic + version + kind + CRC.
+const MIN_FRAME_LEN: usize = 8;
+
+/// Request kind: liveness probe, empty payload.
+pub const KIND_PING: u8 = 0x01;
+/// Request kind: evaluate a [`Query`] against the current snapshot.
+pub const KIND_QUERY: u8 = 0x02;
+/// Request kind: server/snapshot statistics, empty payload.
+pub const KIND_STATS: u8 = 0x03;
+/// Response kind: answer to [`KIND_PING`].
+pub const KIND_PONG: u8 = 0x81;
+/// Response kind: a [`ResultSet`] plus the snapshot epoch it was read from.
+pub const KIND_ROWS: u8 = 0x82;
+/// Response kind: answer to [`KIND_STATS`].
+pub const KIND_STATS_REPLY: u8 = 0x83;
+/// Response kind: a [`WireError`].
+pub const KIND_ERROR: u8 = 0xEE;
+
+/// Error code: the request frame failed to decode (truncation, bad magic,
+/// bad CRC, garbage payload).
+pub const ERR_MALFORMED: u8 = 1;
+/// Error code: the request carried an unsupported protocol version.
+pub const ERR_VERSION: u8 = 2;
+/// Error code: the request kind byte is not a known request.
+pub const ERR_UNKNOWN_KIND: u8 = 3;
+/// Error code: the query decoded but the engine rejected it
+/// ([`QueryError`]).
+pub const ERR_BAD_QUERY: u8 = 4;
+/// Error code: the claimed frame length exceeds [`MAX_FRAME_LEN`].
+pub const ERR_TOO_LARGE: u8 = 5;
+
+/// Why a frame failed to decode. Mirrors the ingest codec's `DecodeError`
+/// taxonomy so the two wire formats fail the same way.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtoError {
+    /// Fewer bytes than the grammar requires.
+    Truncated,
+    /// The first two bytes are not [`MAGIC`].
+    BadMagic {
+        /// The bytes found instead.
+        found: [u8; 2],
+    },
+    /// The version byte is not [`VERSION`].
+    UnsupportedVersion(u8),
+    /// The kind byte names no known message.
+    UnknownKind(u8),
+    /// The CRC-32 trailer does not match the frame contents.
+    BadCrc {
+        /// CRC computed over the received bytes.
+        expected: u32,
+        /// CRC carried in the trailer.
+        found: u32,
+    },
+    /// A varint ran past 10 bytes.
+    VarintOverflow,
+    /// A field decoded to an impossible value (named for diagnostics).
+    InvalidField(&'static str),
+    /// The payload decoded cleanly but bytes remain.
+    TrailingBytes,
+    /// A length prefix claimed more than [`MAX_FRAME_LEN`] bytes.
+    FrameTooLarge(u64),
+}
+
+impl fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtoError::Truncated => write!(f, "frame truncated"),
+            ProtoError::BadMagic { found } => {
+                write!(f, "bad magic {:02x}{:02x}", found[0], found[1])
+            }
+            ProtoError::UnsupportedVersion(v) => {
+                write!(f, "unsupported protocol version {v} (expected {VERSION})")
+            }
+            ProtoError::UnknownKind(k) => write!(f, "unknown message kind 0x{k:02x}"),
+            ProtoError::BadCrc { expected, found } => {
+                write!(
+                    f,
+                    "crc mismatch: computed {expected:08x}, trailer {found:08x}"
+                )
+            }
+            ProtoError::VarintOverflow => write!(f, "varint overflow"),
+            ProtoError::InvalidField(name) => write!(f, "invalid field: {name}"),
+            ProtoError::TrailingBytes => write!(f, "trailing bytes after payload"),
+            ProtoError::FrameTooLarge(n) => {
+                write!(f, "frame length {n} exceeds the {MAX_FRAME_LEN}-byte cap")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+/// An error the server sends back over the wire instead of an answer.
+/// Carrying a code + free-text detail (rather than a typed enum) keeps old
+/// clients able to render errors from newer servers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError {
+    /// One of the `ERR_*` codes.
+    pub code: u8,
+    /// Human-readable detail, safe to log.
+    pub detail: String,
+}
+
+impl WireError {
+    /// Classify a request-decode failure into a wire error code.
+    pub fn from_decode(e: &ProtoError) -> WireError {
+        let code = match e {
+            ProtoError::UnsupportedVersion(_) => ERR_VERSION,
+            ProtoError::UnknownKind(_) => ERR_UNKNOWN_KIND,
+            ProtoError::FrameTooLarge(_) => ERR_TOO_LARGE,
+            _ => ERR_MALFORMED,
+        };
+        WireError {
+            code,
+            detail: e.to_string(),
+        }
+    }
+
+    /// The query decoded but validation rejected it.
+    pub fn bad_query(e: &QueryError) -> WireError {
+        WireError {
+            code: ERR_BAD_QUERY,
+            detail: e.to_string(),
+        }
+    }
+
+    /// A length prefix exceeded [`MAX_FRAME_LEN`].
+    pub fn too_large(claimed: u64) -> WireError {
+        WireError::from_decode(&ProtoError::FrameTooLarge(claimed))
+    }
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "server error {}: {}", self.code, self.detail)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// A client→server message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Liveness probe.
+    Ping,
+    /// Evaluate a query against the server's current snapshot.
+    Query(Query),
+    /// Fetch server/snapshot statistics.
+    Stats,
+}
+
+/// A server→client message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Answer to [`Request::Ping`].
+    Pong,
+    /// A query answer, tagged with the snapshot epoch that produced it so
+    /// clients can pin answers to a consistent store state.
+    Rows {
+        /// Publish epoch of the snapshot the answer was read from.
+        epoch: u64,
+        /// The answer.
+        result: ResultSet,
+    },
+    /// Answer to [`Request::Stats`].
+    Stats(ServerStats),
+    /// The request was rejected; the server state is unchanged.
+    Error(WireError),
+}
+
+/// Server/snapshot statistics, answered from the current snapshot without
+/// touching the write side.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServerStats {
+    /// Publish epoch of the current snapshot (0 = initial).
+    pub epoch: u64,
+    /// Records folded into the snapshot.
+    pub inserted: u64,
+    /// Live cells in the snapshot.
+    pub cells: u64,
+    /// Devices registered in the snapshot's directory.
+    pub devices: u64,
+    /// Frames the server has answered so far (including errors).
+    pub requests_served: u64,
+}
+
+// ---------------------------------------------------------------------------
+// primitive readers/writers
+// ---------------------------------------------------------------------------
+
+fn read_u8(bytes: &[u8], pos: &mut usize) -> Result<u8, ProtoError> {
+    let b = *bytes.get(*pos).ok_or(ProtoError::Truncated)?;
+    *pos += 1;
+    Ok(b)
+}
+
+fn read_int(bytes: &[u8], pos: &mut usize) -> Result<u64, ProtoError> {
+    read_varint(bytes, pos).map_err(|e| match e {
+        cellrel_ingest::DecodeError::VarintOverflow => ProtoError::VarintOverflow,
+        _ => ProtoError::Truncated,
+    })
+}
+
+fn write_string(out: &mut Vec<u8>, s: &str) {
+    write_varint(out, s.len() as u64);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn read_string(bytes: &[u8], pos: &mut usize) -> Result<String, ProtoError> {
+    let len = read_int(bytes, pos)? as usize;
+    if len > bytes.len().saturating_sub(*pos) {
+        return Err(ProtoError::Truncated);
+    }
+    let s = std::str::from_utf8(&bytes[*pos..*pos + len])
+        .map_err(|_| ProtoError::InvalidField("string utf-8"))?;
+    *pos += len;
+    Ok(s.to_string())
+}
+
+// ---------------------------------------------------------------------------
+// query / result-set grammar
+// ---------------------------------------------------------------------------
+
+const FILTER_KIND: u8 = 1;
+const FILTER_ISP: u8 = 2;
+const FILTER_RAT: u8 = 3;
+const FILTER_MODEL: u8 = 4;
+const FILTER_REGION: u8 = 5;
+const FILTER_CAUSE_CLASS: u8 = 6;
+const FILTER_CAUSE: u8 = 7;
+const FILTER_HAS_CAUSE: u8 = 8;
+const FILTER_TIME_RANGE: u8 = 9;
+
+const METRIC_COUNT: u8 = 1;
+const METRIC_DURATION_TOTAL: u8 = 2;
+const METRIC_MEAN_DURATION: u8 = 3;
+const METRIC_MAX_DURATION: u8 = 4;
+const METRIC_UNDER_30S: u8 = 5;
+const METRIC_QUANTILE: u8 = 6;
+const METRIC_DEVICES: u8 = 7;
+const METRIC_FAILING_DEVICES: u8 = 8;
+
+fn write_filter(out: &mut Vec<u8>, f: &Filter) {
+    match f {
+        Filter::Kind(k) => {
+            out.push(FILTER_KIND);
+            write_varint(out, k.index() as u64);
+        }
+        Filter::Isp(i) => {
+            out.push(FILTER_ISP);
+            write_varint(out, i.index() as u64);
+        }
+        Filter::Rat(r) => {
+            out.push(FILTER_RAT);
+            write_varint(out, r.index() as u64);
+        }
+        Filter::Model(m) => {
+            out.push(FILTER_MODEL);
+            write_varint(out, u64::from(m.0));
+        }
+        Filter::Region(r) => {
+            out.push(FILTER_REGION);
+            write_varint(out, r.index() as u64);
+        }
+        Filter::CauseClass(l) => {
+            out.push(FILTER_CAUSE_CLASS);
+            write_varint(out, l.index() as u64);
+        }
+        Filter::Cause(c) => {
+            out.push(FILTER_CAUSE);
+            write_varint(out, zigzag(i64::from(c.code())));
+        }
+        Filter::HasCause => out.push(FILTER_HAS_CAUSE),
+        Filter::TimeRange { start_ms, end_ms } => {
+            out.push(FILTER_TIME_RANGE);
+            write_varint(out, *start_ms);
+            write_varint(out, *end_ms);
+        }
+    }
+}
+
+fn read_filter(bytes: &[u8], pos: &mut usize) -> Result<Filter, ProtoError> {
+    let tag = read_u8(bytes, pos)?;
+    Ok(match tag {
+        FILTER_KIND => {
+            let i = read_int(bytes, pos)? as usize;
+            Filter::Kind(FailureKind::from_index(i).ok_or(ProtoError::InvalidField("filter.kind"))?)
+        }
+        FILTER_ISP => {
+            let i = read_int(bytes, pos)? as usize;
+            Filter::Isp(Isp::from_index(i).ok_or(ProtoError::InvalidField("filter.isp"))?)
+        }
+        FILTER_RAT => {
+            let i = read_int(bytes, pos)? as usize;
+            Filter::Rat(Rat::from_index(i).ok_or(ProtoError::InvalidField("filter.rat"))?)
+        }
+        FILTER_MODEL => {
+            let m = read_int(bytes, pos)?;
+            let m = u8::try_from(m).map_err(|_| ProtoError::InvalidField("filter.model"))?;
+            Filter::Model(PhoneModelId(m))
+        }
+        FILTER_REGION => {
+            let i = read_int(bytes, pos)? as usize;
+            Filter::Region(Region::from_index(i).ok_or(ProtoError::InvalidField("filter.region"))?)
+        }
+        FILTER_CAUSE_CLASS => {
+            let i = read_int(bytes, pos)? as usize;
+            Filter::CauseClass(
+                FailureLayer::from_index(i)
+                    .ok_or(ProtoError::InvalidField("filter.cause_class"))?,
+            )
+        }
+        FILTER_CAUSE => {
+            let z = unzigzag(read_int(bytes, pos)?);
+            let code =
+                i32::try_from(z).map_err(|_| ProtoError::InvalidField("filter.cause code"))?;
+            Filter::Cause(DataFailCause::from_code(code))
+        }
+        FILTER_HAS_CAUSE => Filter::HasCause,
+        FILTER_TIME_RANGE => Filter::TimeRange {
+            start_ms: read_int(bytes, pos)?,
+            end_ms: read_int(bytes, pos)?,
+        },
+        _ => return Err(ProtoError::InvalidField("filter tag")),
+    })
+}
+
+fn write_metric(out: &mut Vec<u8>, m: &Metric) {
+    match m {
+        Metric::Count => out.push(METRIC_COUNT),
+        Metric::DurationTotalMs => out.push(METRIC_DURATION_TOTAL),
+        Metric::MeanDurationMs => out.push(METRIC_MEAN_DURATION),
+        Metric::MaxDurationMs => out.push(METRIC_MAX_DURATION),
+        Metric::Under30sShare => out.push(METRIC_UNDER_30S),
+        Metric::QuantileMs(q) => {
+            out.push(METRIC_QUANTILE);
+            write_varint(out, q.to_bits());
+        }
+        Metric::Devices => out.push(METRIC_DEVICES),
+        Metric::FailingDevices => out.push(METRIC_FAILING_DEVICES),
+    }
+}
+
+fn read_metric(bytes: &[u8], pos: &mut usize) -> Result<Metric, ProtoError> {
+    let tag = read_u8(bytes, pos)?;
+    Ok(match tag {
+        METRIC_COUNT => Metric::Count,
+        METRIC_DURATION_TOTAL => Metric::DurationTotalMs,
+        METRIC_MEAN_DURATION => Metric::MeanDurationMs,
+        METRIC_MAX_DURATION => Metric::MaxDurationMs,
+        METRIC_UNDER_30S => Metric::Under30sShare,
+        // A hostile bit pattern here can decode to NaN or out-of-range —
+        // that is fine: query validation rejects it without panicking.
+        METRIC_QUANTILE => Metric::QuantileMs(f64::from_bits(read_int(bytes, pos)?)),
+        METRIC_DEVICES => Metric::Devices,
+        METRIC_FAILING_DEVICES => Metric::FailingDevices,
+        _ => return Err(ProtoError::InvalidField("metric tag")),
+    })
+}
+
+fn write_dims(out: &mut Vec<u8>, dims: &[Dim]) {
+    write_varint(out, dims.len() as u64);
+    for d in dims {
+        write_varint(out, d.index() as u64);
+    }
+}
+
+fn read_dims(bytes: &[u8], pos: &mut usize) -> Result<Vec<Dim>, ProtoError> {
+    let n = read_int(bytes, pos)? as usize;
+    // Each dim is ≥ 1 byte; a count the remaining payload cannot hold is a
+    // length lie — reject before sizing the Vec.
+    if n > bytes.len().saturating_sub(*pos) {
+        return Err(ProtoError::InvalidField("group_by overcount"));
+    }
+    let mut dims = Vec::with_capacity(n);
+    for _ in 0..n {
+        let i = read_int(bytes, pos)? as usize;
+        dims.push(Dim::from_index(i).ok_or(ProtoError::InvalidField("group_by dim"))?);
+    }
+    Ok(dims)
+}
+
+fn write_query(out: &mut Vec<u8>, q: &Query) {
+    write_varint(out, q.filters.len() as u64);
+    for f in &q.filters {
+        write_filter(out, f);
+    }
+    write_dims(out, &q.group_by);
+    write_varint(out, q.window_ms);
+    write_metric(out, &q.metric);
+    write_varint(out, q.top_k as u64);
+}
+
+fn read_query(bytes: &[u8], pos: &mut usize) -> Result<Query, ProtoError> {
+    let nf = read_int(bytes, pos)? as usize;
+    if nf > bytes.len().saturating_sub(*pos) {
+        return Err(ProtoError::InvalidField("filters overcount"));
+    }
+    let mut filters = Vec::with_capacity(nf);
+    for _ in 0..nf {
+        filters.push(read_filter(bytes, pos)?);
+    }
+    let group_by = read_dims(bytes, pos)?;
+    let window_ms = read_int(bytes, pos)?;
+    let metric = read_metric(bytes, pos)?;
+    let top_k =
+        usize::try_from(read_int(bytes, pos)?).map_err(|_| ProtoError::InvalidField("top_k"))?;
+    Ok(Query {
+        filters,
+        group_by,
+        window_ms,
+        metric,
+        top_k,
+    })
+}
+
+fn write_result_set(out: &mut Vec<u8>, rs: &ResultSet) {
+    write_dims(out, &rs.group_by);
+    write_metric(out, &rs.metric);
+    write_varint(out, rs.rows.len() as u64);
+    for r in &rs.rows {
+        // Key and label counts are written per row (not assumed equal to
+        // `group_by.len()`) so encoding is total over arbitrary values —
+        // the proptests round-trip hand-built result sets.
+        write_varint(out, r.key.len() as u64);
+        for k in &r.key {
+            write_varint(out, *k);
+        }
+        write_varint(out, r.labels.len() as u64);
+        for l in &r.labels {
+            write_string(out, l);
+        }
+        write_varint(out, r.value.to_bits());
+        write_varint(out, r.count);
+    }
+    write_varint(out, rs.cells_scanned);
+    write_varint(out, rs.cells_matched);
+}
+
+fn read_result_set(bytes: &[u8], pos: &mut usize) -> Result<ResultSet, ProtoError> {
+    let group_by = read_dims(bytes, pos)?;
+    let metric = read_metric(bytes, pos)?;
+    let nrows = read_int(bytes, pos)? as usize;
+    // A row is at least 4 varint bytes (key count, label count, value,
+    // count); bound the claimed row count by what the payload could hold.
+    if nrows > bytes.len().saturating_sub(*pos) / 4 + 1 {
+        return Err(ProtoError::InvalidField("rows overcount"));
+    }
+    let mut rows = Vec::with_capacity(nrows);
+    for _ in 0..nrows {
+        let nk = read_int(bytes, pos)? as usize;
+        if nk > bytes.len().saturating_sub(*pos) {
+            return Err(ProtoError::InvalidField("row key overcount"));
+        }
+        let mut key = Vec::with_capacity(nk);
+        for _ in 0..nk {
+            key.push(read_int(bytes, pos)?);
+        }
+        let nl = read_int(bytes, pos)? as usize;
+        if nl > bytes.len().saturating_sub(*pos) {
+            return Err(ProtoError::InvalidField("row label overcount"));
+        }
+        let mut labels = Vec::with_capacity(nl);
+        for _ in 0..nl {
+            labels.push(read_string(bytes, pos)?);
+        }
+        let value = f64::from_bits(read_int(bytes, pos)?);
+        let count = read_int(bytes, pos)?;
+        rows.push(ResultRow {
+            key,
+            labels,
+            value,
+            count,
+        });
+    }
+    let cells_scanned = read_int(bytes, pos)?;
+    let cells_matched = read_int(bytes, pos)?;
+    Ok(ResultSet {
+        group_by,
+        metric,
+        rows,
+        cells_scanned,
+        cells_matched,
+    })
+}
+
+fn write_stats(out: &mut Vec<u8>, s: &ServerStats) {
+    write_varint(out, s.epoch);
+    write_varint(out, s.inserted);
+    write_varint(out, s.cells);
+    write_varint(out, s.devices);
+    write_varint(out, s.requests_served);
+}
+
+fn read_stats(bytes: &[u8], pos: &mut usize) -> Result<ServerStats, ProtoError> {
+    Ok(ServerStats {
+        epoch: read_int(bytes, pos)?,
+        inserted: read_int(bytes, pos)?,
+        cells: read_int(bytes, pos)?,
+        devices: read_int(bytes, pos)?,
+        requests_served: read_int(bytes, pos)?,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// framing
+// ---------------------------------------------------------------------------
+
+fn begin_frame(kind: u8) -> Vec<u8> {
+    vec![MAGIC[0], MAGIC[1], VERSION, kind]
+}
+
+fn seal_frame(mut frame: Vec<u8>) -> Vec<u8> {
+    let crc = crc32(&frame);
+    frame.extend_from_slice(&crc.to_le_bytes());
+    frame
+}
+
+/// Validate framing (length, magic, version, CRC) and return the kind byte
+/// plus the payload slice. Shared by request and response decoding.
+fn open_frame(bytes: &[u8]) -> Result<(u8, &[u8]), ProtoError> {
+    if bytes.len() > MAX_FRAME_LEN {
+        return Err(ProtoError::FrameTooLarge(bytes.len() as u64));
+    }
+    if bytes.len() < MIN_FRAME_LEN {
+        return Err(ProtoError::Truncated);
+    }
+    if bytes[0..2] != MAGIC {
+        return Err(ProtoError::BadMagic {
+            found: [bytes[0], bytes[1]],
+        });
+    }
+    if bytes[2] != VERSION {
+        return Err(ProtoError::UnsupportedVersion(bytes[2]));
+    }
+    let body = &bytes[..bytes.len() - 4];
+    let found = u32::from_le_bytes(bytes[bytes.len() - 4..].try_into().expect("4 bytes"));
+    let expected = crc32(body);
+    if expected != found {
+        return Err(ProtoError::BadCrc { expected, found });
+    }
+    Ok((bytes[3], &body[4..]))
+}
+
+fn expect_consumed(payload: &[u8], pos: usize) -> Result<(), ProtoError> {
+    if pos == payload.len() {
+        Ok(())
+    } else {
+        Err(ProtoError::TrailingBytes)
+    }
+}
+
+/// Encode a request as a complete frame (magic through CRC trailer).
+pub fn encode_request(req: &Request) -> Vec<u8> {
+    let mut frame = match req {
+        Request::Ping => begin_frame(KIND_PING),
+        Request::Stats => begin_frame(KIND_STATS),
+        Request::Query(q) => {
+            let mut f = begin_frame(KIND_QUERY);
+            write_query(&mut f, q);
+            f
+        }
+    };
+    frame = seal_frame(frame);
+    frame
+}
+
+/// Decode a request frame. Total: every failure is a typed [`ProtoError`].
+pub fn decode_request(bytes: &[u8]) -> Result<Request, ProtoError> {
+    let (kind, payload) = open_frame(bytes)?;
+    let mut pos = 0usize;
+    let req = match kind {
+        KIND_PING => Request::Ping,
+        KIND_STATS => Request::Stats,
+        KIND_QUERY => Request::Query(read_query(payload, &mut pos)?),
+        k => return Err(ProtoError::UnknownKind(k)),
+    };
+    expect_consumed(payload, pos)?;
+    Ok(req)
+}
+
+/// Encode a response as a complete frame (magic through CRC trailer).
+pub fn encode_response(resp: &Response) -> Vec<u8> {
+    let mut frame = match resp {
+        Response::Pong => begin_frame(KIND_PONG),
+        Response::Rows { epoch, result } => {
+            let mut f = begin_frame(KIND_ROWS);
+            write_varint(&mut f, *epoch);
+            write_result_set(&mut f, result);
+            f
+        }
+        Response::Stats(s) => {
+            let mut f = begin_frame(KIND_STATS_REPLY);
+            write_stats(&mut f, s);
+            f
+        }
+        Response::Error(e) => {
+            let mut f = begin_frame(KIND_ERROR);
+            f.push(e.code);
+            write_string(&mut f, &e.detail);
+            f
+        }
+    };
+    frame = seal_frame(frame);
+    frame
+}
+
+/// Decode a response frame. Total: every failure is a typed [`ProtoError`].
+pub fn decode_response(bytes: &[u8]) -> Result<Response, ProtoError> {
+    let (kind, payload) = open_frame(bytes)?;
+    let mut pos = 0usize;
+    let resp = match kind {
+        KIND_PONG => Response::Pong,
+        KIND_ROWS => {
+            let epoch = read_int(payload, &mut pos)?;
+            let result = read_result_set(payload, &mut pos)?;
+            Response::Rows { epoch, result }
+        }
+        KIND_STATS_REPLY => Response::Stats(read_stats(payload, &mut pos)?),
+        KIND_ERROR => {
+            let code = read_u8(payload, &mut pos)?;
+            let detail = read_string(payload, &mut pos)?;
+            Response::Error(WireError { code, detail })
+        }
+        k => return Err(ProtoError::UnknownKind(k)),
+    };
+    expect_consumed(payload, pos)?;
+    Ok(resp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_query() -> Query {
+        Query {
+            filters: vec![
+                Filter::Kind(FailureKind::DataSetupError),
+                Filter::Cause(DataFailCause::SignalLost),
+                Filter::TimeRange {
+                    start_ms: 0,
+                    end_ms: 604_800_000,
+                },
+            ],
+            group_by: vec![Dim::Isp, Dim::Rat],
+            window_ms: 604_800_000,
+            metric: Metric::QuantileMs(0.95),
+            top_k: 5,
+        }
+    }
+
+    fn sample_result() -> ResultSet {
+        ResultSet {
+            group_by: vec![Dim::Isp],
+            metric: Metric::Count,
+            rows: vec![ResultRow {
+                key: vec![2],
+                labels: vec!["ISP-C".into()],
+                value: 41.0,
+                count: 41,
+            }],
+            cells_scanned: 100,
+            cells_matched: 41,
+        }
+    }
+
+    #[test]
+    fn request_roundtrip() {
+        for req in [
+            Request::Ping,
+            Request::Stats,
+            Request::Query(sample_query()),
+        ] {
+            let frame = encode_request(&req);
+            assert_eq!(decode_request(&frame).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn response_roundtrip() {
+        for resp in [
+            Response::Pong,
+            Response::Rows {
+                epoch: 7,
+                result: sample_result(),
+            },
+            Response::Stats(ServerStats {
+                epoch: 3,
+                inserted: 1000,
+                cells: 40,
+                devices: 10,
+                requests_served: 99,
+            }),
+            Response::Error(WireError {
+                code: ERR_BAD_QUERY,
+                detail: "quantile 1.5 outside [0, 1]".into(),
+            }),
+        ] {
+            let frame = encode_response(&resp);
+            assert_eq!(decode_response(&frame).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn bit_flips_fail_the_crc_or_decode_typed() {
+        let frame = encode_request(&Request::Query(sample_query()));
+        for i in 0..frame.len() {
+            for bit in 0..8 {
+                let mut bad = frame.clone();
+                bad[i] ^= 1 << bit;
+                assert!(decode_request(&bad).is_err(), "byte {i} bit {bit}");
+            }
+        }
+    }
+
+    #[test]
+    fn truncation_is_total() {
+        let frame = encode_response(&Response::Rows {
+            epoch: 1,
+            result: sample_result(),
+        });
+        for cut in 0..frame.len() {
+            assert!(decode_response(&frame[..cut]).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn version_and_kind_errors_are_distinguished() {
+        let mut frame = encode_request(&Request::Ping);
+        frame[2] = 9;
+        let frame = seal_frame(frame[..frame.len() - 4].to_vec());
+        assert_eq!(
+            decode_request(&frame).unwrap_err(),
+            ProtoError::UnsupportedVersion(9)
+        );
+
+        let mut frame = encode_request(&Request::Ping);
+        frame[3] = 0x44;
+        let frame = seal_frame(frame[..frame.len() - 4].to_vec());
+        assert_eq!(
+            decode_request(&frame).unwrap_err(),
+            ProtoError::UnknownKind(0x44)
+        );
+        // A response kind is not a request.
+        let frame = encode_response(&Response::Pong);
+        assert_eq!(
+            decode_request(&frame).unwrap_err(),
+            ProtoError::UnknownKind(KIND_PONG)
+        );
+    }
+
+    #[test]
+    fn length_lies_do_not_allocate() {
+        // A rows count of u64::MAX in a tiny payload must be rejected as an
+        // overcount, not drive Vec::with_capacity.
+        let mut f = begin_frame(KIND_ROWS);
+        write_varint(&mut f, 1); // epoch
+        write_dims(&mut f, &[]); // group_by
+        f.push(METRIC_COUNT);
+        write_varint(&mut f, u64::MAX); // rows count lie
+        let frame = seal_frame(f);
+        assert_eq!(
+            decode_response(&frame).unwrap_err(),
+            ProtoError::InvalidField("rows overcount")
+        );
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut frame = encode_request(&Request::Ping);
+        frame.truncate(frame.len() - 4);
+        frame.push(0);
+        let frame = seal_frame(frame);
+        assert_eq!(
+            decode_request(&frame).unwrap_err(),
+            ProtoError::TrailingBytes
+        );
+    }
+}

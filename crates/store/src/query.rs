@@ -49,6 +49,49 @@ pub enum Dim {
 }
 
 impl Dim {
+    /// Every dimension, in wire/key order. [`Dim::index`] is the position
+    /// here and [`Dim::from_index`] inverts it — the queryd protocol
+    /// encodes dimensions by this index, so the order is frozen.
+    pub const ALL: [Dim; 8] = [
+        Dim::Time,
+        Dim::Kind,
+        Dim::Isp,
+        Dim::Rat,
+        Dim::Model,
+        Dim::Region,
+        Dim::CauseClass,
+        Dim::Cause,
+    ];
+
+    /// Stable numeric index (position in [`Dim::ALL`]).
+    pub const fn index(self) -> usize {
+        match self {
+            Dim::Time => 0,
+            Dim::Kind => 1,
+            Dim::Isp => 2,
+            Dim::Rat => 3,
+            Dim::Model => 4,
+            Dim::Region => 5,
+            Dim::CauseClass => 6,
+            Dim::Cause => 7,
+        }
+    }
+
+    /// Inverse of [`Dim::index`]; `None` for out-of-range values.
+    pub const fn from_index(i: usize) -> Option<Dim> {
+        match i {
+            0 => Some(Dim::Time),
+            1 => Some(Dim::Kind),
+            2 => Some(Dim::Isp),
+            3 => Some(Dim::Rat),
+            4 => Some(Dim::Model),
+            5 => Some(Dim::Region),
+            6 => Some(Dim::CauseClass),
+            7 => Some(Dim::Cause),
+            _ => None,
+        }
+    }
+
     /// Column header used in rendered/exported result sets.
     pub const fn label(self) -> &'static str {
         match self {
@@ -685,12 +728,12 @@ fn apply_top_k(rows: &mut Vec<ResultRow>, k: usize) {
 }
 
 fn sort_by_value(rows: &mut [ResultRow]) {
-    rows.sort_by(|a, b| {
-        b.value
-            .partial_cmp(&a.value)
-            .expect("metric values are finite")
-            .then_with(|| a.key.cmp(&b.key))
-    });
+    // `total_cmp`, not `partial_cmp().expect(..)`: metric values are finite
+    // today, but the ranking must stay total (and the server built on this
+    // engine must never panic) even if a future metric produces a NaN. The
+    // (value desc, key asc) order is the one explicit tie-break — nothing
+    // here may depend on pre-sort row order or map iteration order.
+    rows.sort_by(|a, b| b.value.total_cmp(&a.value).then_with(|| a.key.cmp(&b.key)));
 }
 
 #[cfg(test)]
@@ -837,6 +880,77 @@ mod tests {
         // 300 events over 4 RATs: counts 75 each — the tie breaks by key.
         assert_eq!(rs.rows[0].key, vec![0]);
         assert_eq!(rs.rows[1].key, vec![1]);
+    }
+
+    #[test]
+    fn top_k_with_empty_group_by_is_stable() {
+        // Regression: top_k combined with an empty group_by must go through
+        // the same explicit (value desc, key asc) ranking as grouped
+        // queries — one global row in, the same row out, on both the cell
+        // and the device evaluation paths, at any partition split.
+        let s = fixture();
+        for metric in [Metric::Count, Metric::FailingDevices] {
+            let with_k = Query {
+                filters: vec![],
+                group_by: vec![],
+                window_ms: 0,
+                metric,
+                top_k: 1,
+            };
+            let without_k = Query {
+                top_k: 0,
+                ..with_k.clone()
+            };
+            let a = s.query(&with_k).unwrap();
+            let b = s.query(&without_k).unwrap();
+            assert_eq!(a.rows, b.rows, "{metric:?}");
+            assert_eq!(a.rows.len(), 1);
+        }
+    }
+
+    #[test]
+    fn top_k_tie_break_is_partition_invariant() {
+        // The fixture gives every RAT and every ISP identical counts, so a
+        // top-k cut is all ties: the ranking must come out identical no
+        // matter how cells are spread over partitions (map iteration order
+        // differs) and must equal the explicit (value desc, key asc) order.
+        let events: Vec<FailureEvent> = (0..300u32)
+            .map(|i| {
+                ev(
+                    i % 30,
+                    u64::from(i) * 7_200,
+                    2 + u64::from(i % 60),
+                    FailureKind::ALL[i as usize % 5],
+                    Rat::ALL[i as usize % 4],
+                )
+            })
+            .collect();
+        let q = Query {
+            filters: vec![],
+            group_by: vec![Dim::Rat, Dim::Isp],
+            window_ms: 0,
+            metric: Metric::Count,
+            top_k: 5,
+        };
+        let mut baseline: Option<Vec<ResultRow>> = None;
+        for partitions in [1usize, 4, 16] {
+            let cfg = StoreConfig {
+                partitions,
+                ..StoreConfig::default()
+            };
+            let s = build_sharded(&cfg, &DeviceDirectory::default(), &events, 1);
+            let rows = s.query(&q).unwrap().rows;
+            for w in rows.windows(2) {
+                assert!(
+                    w[0].value > w[1].value || (w[0].value == w[1].value && w[0].key <= w[1].key),
+                    "rows must be (value desc, key asc): {w:?}"
+                );
+            }
+            match &baseline {
+                None => baseline = Some(rows),
+                Some(b) => assert_eq!(b, &rows, "partitions={partitions}"),
+            }
+        }
     }
 
     #[test]

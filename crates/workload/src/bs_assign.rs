@@ -203,7 +203,10 @@ mod tests {
             *counts.entry(cid as usize).or_default() += 1;
         }
         let mut ranked: Vec<(usize, u64)> = counts.into_iter().collect();
-        ranked.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
+        // Tie-break by index: `counts` comes out of a HashMap, so equal
+        // counts would otherwise rank in iteration order and the top-100
+        // cut (and this assertion) could wobble between runs.
+        ranked.sort_by_key(|&(idx, c)| (std::cmp::Reverse(c), idx));
         let top100_urban = ranked[..100]
             .iter()
             .filter(|(idx, _)| a.directory()[*idx].urban)
