@@ -18,6 +18,15 @@
 //! `--trace-out FILE` (implies `--metrics`; write device spans — stall
 //! recoveries, OOS outages — as Chrome trace-event JSON for Perfetto).
 //!
+//! `--kill-restart` switches to the streaming-pipeline kill/restart
+//! campaign instead: `--kills N` (default 32) random kill points over a
+//! live-ordered upload stream (`--devices`, `--days`, `--batch` size the
+//! fleet; `--seed` seeds both the fleet and the kill points), each
+//! restored from its last durable checkpoint and replayed to the end —
+//! any divergence from the uninterrupted run (store digest, manifest,
+//! Tables 1/2, counters) exits non-zero. The final `digest:` line is the
+//! campaign content digest, identical across reruns.
+//!
 //! The final `digest: <hex>` line is the campaign's content digest: it is
 //! identical at any thread count and across re-runs — CI compares it to
 //! catch nondeterminism.
@@ -32,9 +41,13 @@ use cellrel::analysis::export::{
     campaign_violations_table,
 };
 use cellrel::analysis::render_metrics;
+use cellrel::ingest::CollectorConfig;
+use cellrel::store::{DeviceDirectory, StoreConfig};
+use cellrel::stream::{batches_from_events, run_kill_restart, KillRestartConfig, StreamConfig};
 use cellrel::types::SimDuration;
 use cellrel::workload::{
-    replay_scenario, run_chaos_campaign, run_chaos_campaign_metrics, ChaosConfig, ChaosScenario,
+    replay_scenario, run_chaos_campaign, run_chaos_campaign_metrics, run_macro_study, ChaosConfig,
+    ChaosScenario, PopulationConfig, StudyConfig,
 };
 use std::time::Instant;
 
@@ -79,7 +92,24 @@ fn main() {
     } else {
         false
     };
+    let kill_restart = if let Some(pos) = args.iter().position(|a| a == "--kill-restart") {
+        args.remove(pos);
+        true
+    } else {
+        false
+    };
+    let kills = parse_flag::<usize>(&mut args, "--kills").unwrap_or(32);
+    let kr_devices = parse_flag::<usize>(&mut args, "--devices").unwrap_or(1_200);
+    let kr_days = parse_flag::<u64>(&mut args, "--days").unwrap_or(10);
+    let batch_cap = parse_flag::<usize>(&mut args, "--batch")
+        .unwrap_or(48)
+        .max(1);
     assert!(args.is_empty(), "unrecognised arguments: {args:?}");
+
+    if kill_restart {
+        stream_kill_restart(cfg.root_seed, kills, kr_devices, kr_days, batch_cap);
+        return;
+    }
 
     if let Some(id) = replay {
         // Replay one scenario: same seed derivation as the campaign run,
@@ -187,6 +217,71 @@ fn main() {
     eprintln!("chaos: wrote {}", path.display());
 
     if fail_on_violation && !report.violations.is_empty() {
+        std::process::exit(1);
+    }
+}
+
+/// The streaming-pipeline kill/restart campaign: `kills` random crash
+/// points over one live-ordered upload stream, each restored from its
+/// last durable checkpoint and required to reproduce the uninterrupted
+/// run byte for byte. Exits non-zero on any divergence.
+fn stream_kill_restart(seed: u64, kills: usize, devices: usize, days: u64, batch_cap: usize) {
+    eprintln!(
+        "chaos: kill/restart campaign — {kills} kills over {devices} devices x {days} days \
+         (seed {seed}, batch cap {batch_cap})"
+    );
+    let t0 = Instant::now();
+    let data = run_macro_study(&StudyConfig {
+        population: PopulationConfig {
+            devices,
+            ..Default::default()
+        },
+        days,
+        bs_count: 2_000,
+        seed,
+    });
+    let dir = DeviceDirectory::from_population(&data.population);
+    let batches = batches_from_events(&data.events, batch_cap);
+    let cfg = StreamConfig {
+        window_ms: 86_400_000,
+        lateness_ms: 2 * 3_600_000,
+        hot_windows: 3,
+        late_flush: 512,
+        collector: CollectorConfig::default(),
+        store: StoreConfig::default(),
+    };
+    let kcfg = KillRestartConfig {
+        kills,
+        seed,
+        checkpoint_every: 5,
+    };
+    let report = run_kill_restart(&cfg, &kcfg, &dir, &batches).expect("campaign runs");
+    for o in report.outcomes.iter().filter(|o| !o.ok) {
+        println!(
+            "kill at batch {} (restored cursor {}): {}",
+            o.kill_at, o.restored_cursor, o.detail
+        );
+    }
+    println!(
+        "kill/restart: {} kills over {} batches, {} mid-window, {} diverged \
+         (baseline: {} segments, digest {:016x})",
+        report.outcomes.len(),
+        batches.len(),
+        report.mid_window_kills,
+        report.failures,
+        report.baseline_segments,
+        report.baseline_digest,
+    );
+    println!("digest: {:016x}", report.digest);
+    eprintln!(
+        "chaos: kill/restart campaign finished in {:.2} s",
+        t0.elapsed().as_secs_f64()
+    );
+    if report.failures > 0 {
+        eprintln!(
+            "chaos: FAIL — {} kill(s) diverged from the uninterrupted run",
+            report.failures
+        );
         std::process::exit(1);
     }
 }

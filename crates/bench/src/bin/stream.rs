@@ -1,0 +1,210 @@
+//! `stream` — drive the continuous windowed pipeline over a live-ordered
+//! upload stream, measure sealing throughput and latency plus restart
+//! recovery time, and prove the merged view and Tables 1/2 are
+//! byte-identical to the one-shot batch pipeline over the same batches.
+//!
+//! ```sh
+//! cargo run --release -p cellrel-bench --bin stream
+//! cargo run --release -p cellrel-bench --bin stream -- --devices 1000 --days 7
+//! ```
+//!
+//! Flags: `--devices N` (default 3,000), `--days D` (default 14), `--seed S`
+//! (default 2021), `--batch K` (records per upload batch, default 48),
+//! `--checkpoint-every C` (durable checkpoint every C offers in addition
+//! to every seal, default 16).
+//!
+//! Deterministic results (identity verdicts, the final store digest) go to
+//! stdout; throughput and latency (windows/s, seal p50/p99 µs, recovery
+//! ms) go to stderr and `BENCH_stream.json`. Exits non-zero if the
+//! streamed view or either table diverges from the batch ground truth.
+
+// Wall-clock is the *measurement* here (seal latency, recovery time), not
+// simulation state — benches are outside the Instant/SystemTime gate.
+#![allow(clippy::disallowed_types)]
+
+use cellrel::analysis::store_tables::{table1_from_store, table2_from_store};
+use cellrel::ingest::{Collector, CollectorConfig};
+use cellrel::sim::QuantileSketch;
+use cellrel::store::{DeviceDirectory, Store, StoreConfig, StoreSink};
+use cellrel::stream::{batches_from_events, MemSegments, StreamConfig, StreamPipeline};
+use cellrel::workload::{run_macro_study, PopulationConfig, StudyConfig};
+use std::time::Instant;
+
+fn parse_flag<T: std::str::FromStr>(args: &mut Vec<String>, flag: &str) -> Option<T> {
+    let pos = args.iter().position(|a| a == flag)?;
+    let value = args
+        .get(pos + 1)
+        .unwrap_or_else(|| panic!("{flag} needs a value"))
+        .parse::<T>()
+        .unwrap_or_else(|_| panic!("{flag}: bad value"));
+    args.drain(pos..pos + 2);
+    Some(value)
+}
+
+fn verdict(ok: bool) -> &'static str {
+    if ok {
+        "ok"
+    } else {
+        "MISMATCH"
+    }
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let devices = parse_flag::<usize>(&mut args, "--devices").unwrap_or(3_000);
+    let days = parse_flag::<u64>(&mut args, "--days").unwrap_or(14);
+    let seed = parse_flag::<u64>(&mut args, "--seed").unwrap_or(2021);
+    let batch_cap = parse_flag::<usize>(&mut args, "--batch")
+        .unwrap_or(48)
+        .max(1);
+    let checkpoint_every = parse_flag::<u64>(&mut args, "--checkpoint-every").unwrap_or(16);
+    assert!(args.is_empty(), "unrecognised arguments: {args:?}");
+
+    eprintln!("stream: generating {devices} devices over {days} days (seed {seed}) ...");
+    let t0 = Instant::now();
+    let data = run_macro_study(&StudyConfig {
+        population: PopulationConfig {
+            devices,
+            ..Default::default()
+        },
+        days,
+        bs_count: 2_000,
+        seed,
+    });
+    let dir = DeviceDirectory::from_population(&data.population);
+    let batches = batches_from_events(&data.events, batch_cap);
+    eprintln!(
+        "stream: {} events -> {} upload batches in {:.2} s",
+        data.events.len(),
+        batches.len(),
+        t0.elapsed().as_secs_f64()
+    );
+
+    let cfg = StreamConfig {
+        window_ms: 86_400_000,
+        lateness_ms: 2 * 3_600_000,
+        hot_windows: 3,
+        late_flush: 512,
+        collector: CollectorConfig::default(),
+        store: StoreConfig::default(),
+    };
+
+    // The one-shot batch ground truth: the same batches through the same
+    // collector into one store, no windows in between.
+    let mut collector = Collector::new(&cfg.collector);
+    let mut sink = StoreSink::new(&cfg.store, &dir);
+    for b in &batches {
+        collector.ingest_with(b, &mut sink);
+    }
+    let batch_store: Store = sink.into_store();
+    let batch_t1 = table1_from_store(&batch_store).expect("valid query");
+    let batch_t2 = table2_from_store(&batch_store, 10).expect("valid query");
+
+    // The streamed run: every offer timed, sealing offers feed the
+    // seal-latency sketch, durable checkpoints at every seal plus a fixed
+    // cadence (the crash-survivable state a restart would see).
+    let mut segs = MemSegments::new();
+    let mut p = StreamPipeline::new(&cfg, &dir).expect("valid config");
+    let mut seal_lat = QuantileSketch::new();
+    let mut durable = p.checkpoint();
+    let mut ckpts = 1u64;
+    let mut ckpt_bytes = durable.len() as u64;
+    let t_stream = Instant::now();
+    for (i, b) in batches.iter().enumerate() {
+        let t = Instant::now();
+        let sealed = p.offer(b, &mut segs).expect("offer");
+        if !sealed.is_empty() {
+            seal_lat.push(t.elapsed().as_micros() as u64);
+        }
+        if !sealed.is_empty() || (checkpoint_every > 0 && (i as u64 + 1) % checkpoint_every == 0) {
+            durable = p.checkpoint();
+            ckpts += 1;
+            ckpt_bytes += durable.len() as u64;
+        }
+    }
+    p.flush(&mut segs).expect("flush");
+    durable = p.checkpoint();
+    ckpts += 1;
+    ckpt_bytes += durable.len() as u64;
+    let stream_wall = t_stream.elapsed().as_secs_f64();
+
+    // Recovery: restore the final durable checkpoint against the persisted
+    // segments — the full restart path, including reloading and verifying
+    // every manifest segment and rebuilding the tiers.
+    let t_rec = Instant::now();
+    let restored = StreamPipeline::restore(&durable, &dir, &segs).expect("restore");
+    let recovery_ms = t_rec.elapsed().as_secs_f64() * 1e3;
+    let restore_ok = restored.digest() == p.digest();
+
+    let c = *p.counters();
+    let windows_per_sec = c.windows_sealed as f64 / stream_wall.max(1e-9);
+    let seal_p50 = seal_lat.quantile(0.5).unwrap_or(0);
+    let seal_p99 = seal_lat.quantile(0.99).unwrap_or(0);
+    eprintln!(
+        "stream: {} batches in {stream_wall:.2} s; {} windows + {} late segments sealed \
+         ({windows_per_sec:.1} windows/s, seal p50 {seal_p50} us, p99 {seal_p99} us)",
+        c.batches, c.windows_sealed, c.late_segments,
+    );
+    eprintln!(
+        "stream: recovery from {}-byte checkpoint + {} segments ({} KB) in {recovery_ms:.1} ms \
+         ({ckpts} durable checkpoints, {} KB written over the run)",
+        durable.len(),
+        segs.len(),
+        segs.bytes() / 1024,
+        ckpt_bytes / 1024,
+    );
+
+    // The identity the whole design hangs on: streamed == batch, in-run.
+    let (t1, t2) = p.tables(10).expect("valid queries");
+    let digest_ok = p.digest() == batch_store.digest();
+    let t1_ok = t1.render() == batch_t1.render();
+    let t2_ok = t2.render() == batch_t2.render();
+    println!(
+        "stream: merged view identical to batch store: {}",
+        verdict(digest_ok)
+    );
+    println!(
+        "stream: incremental table1 identical to batch: {}",
+        verdict(t1_ok)
+    );
+    println!(
+        "stream: incremental table2 identical to batch: {}",
+        verdict(t2_ok)
+    );
+    println!(
+        "stream: restore reproduces the live pipeline: {}",
+        verdict(restore_ok)
+    );
+    println!(
+        "stream: {} records ({} late), {} segments persisted, {} base folds",
+        c.records, c.late_records, c.segments_persisted, c.base_folds,
+    );
+    println!("digest: {:016x}", p.digest());
+
+    if !(digest_ok && t1_ok && t2_ok && restore_ok) {
+        eprintln!("stream: FAIL — streamed state diverged from the batch ground truth");
+        std::process::exit(1);
+    }
+
+    let snap = cellrel_bench::BenchSnapshot::new("stream")
+        .config("devices", devices)
+        .config("days", days)
+        .config("seed", seed)
+        .config("batch", batch_cap)
+        .config("checkpoint_every", checkpoint_every)
+        .metric("batches", c.batches as f64)
+        .metric("records", c.records as f64)
+        .metric("late_records", c.late_records as f64)
+        .metric("windows_sealed", c.windows_sealed as f64)
+        .metric("segments_persisted", c.segments_persisted as f64)
+        .metric("windows_per_sec", windows_per_sec)
+        .metric("seal_p50_us", seal_p50 as f64)
+        .metric("seal_p99_us", seal_p99 as f64)
+        .metric("recovery_ms", recovery_ms)
+        .metric("checkpoint_bytes", durable.len() as f64)
+        .metric("checkpoints", ckpts as f64)
+        .metric("checkpoint_bytes_total", ckpt_bytes as f64)
+        .wall_seconds(t0.elapsed().as_secs_f64());
+    let path = snap.write().expect("write bench snapshot");
+    eprintln!("stream: wrote {}", path.display());
+}

@@ -22,6 +22,7 @@
 //! | [`ingest`] | `cellrel-ingest` | backend ingestion: wire codec, sharded collector, sketches |
 //! | [`store`] | `cellrel-store` | embedded analytics cube: mergeable partitions, query engine |
 //! | [`queryd`] | `cellrel-queryd` | query daemon: framed wire protocol, snapshot-isolated server, TCP + in-process transports |
+//! | [`stream`] | `cellrel-stream` | continuous windowed pipeline: watermark sealing, tiered segments, crash-transparent restart |
 //! | [`timp`] | `cellrel-timp` | TIMP model + annealing optimizer |
 //! | [`workload`] | `cellrel-workload` | calibrated population, macro study, A/B drivers |
 //! | [`analysis`] | `cellrel-analysis` | per-table/figure estimators and renderers |
@@ -55,6 +56,7 @@ pub use cellrel_queryd as queryd;
 pub use cellrel_radio as radio;
 pub use cellrel_sim as sim;
 pub use cellrel_store as store;
+pub use cellrel_stream as stream;
 pub use cellrel_telephony as telephony;
 pub use cellrel_timp as timp;
 pub use cellrel_types as types;
@@ -79,6 +81,7 @@ mod tests {
         let _ = crate::ingest::CollectorConfig::default();
         let _ = crate::store::StoreConfig::default();
         let _ = crate::queryd::Request::Ping;
+        let _ = crate::stream::StreamConfig::default();
         let _ = crate::timp::AnnealConfig::default();
         let _ = crate::workload::StudyConfig::small();
         let _ = crate::analysis::Table::new("t", &["a"]);

@@ -346,6 +346,24 @@ impl Collector {
         self.shards.iter().map(|s| s.last_seq.len() as u64).sum()
     }
 
+    /// The collector-wide event-time watermark: the newest accepted record
+    /// timestamp across all shards, in ms. Monotone over ingestion; a
+    /// streaming consumer seals a time window once the watermark has moved
+    /// past its end by the lateness bound.
+    pub fn watermark_ms(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.watermark_ms)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Per-shard event-time watermarks in shard-index order (ms). The
+    /// fleet watermark in [`Collector::watermark_ms`] is their max.
+    pub fn shard_watermarks_ms(&self) -> Vec<u64> {
+        self.shards.iter().map(|s| s.watermark_ms).collect()
+    }
+
     /// Content digest over the full collector state, folding shards in
     /// index order — bit-identical at any worker count.
     pub fn digest(&self) -> u64 {

@@ -836,4 +836,87 @@ mod tests {
         let total: u64 = s.partitions[0].cells.values().map(|c| c.count).sum();
         assert_eq!(total, 10, "no records lost");
     }
+
+    /// Boundary alignment: a stream whose newest bucket lands **exactly**
+    /// on a rollup-granularity edge must neither fold that boundary bucket
+    /// (it is still open) nor drop or double-count anything in it.
+    #[test]
+    fn compaction_at_exact_rollup_edge_keeps_boundary_bucket_open() {
+        let cfg = StoreConfig {
+            bucket_ms: 1_000,
+            rollup_buckets: 4,
+            partitions: 1,
+            auto_compact_every: 0,
+        };
+        let dir = DeviceDirectory::default();
+        let mut s = Store::new(&cfg);
+        // Buckets 0..=8: the max bucket (8) sits exactly on the 2nd rollup
+        // edge, so seal == max_bucket. Three records land in the edge
+        // bucket itself.
+        for t in 0..9u64 {
+            let e = ev(0, t, 1, FailureKind::DataStall, None);
+            s.record(&e, dir.dim_of(e.device));
+        }
+        for _ in 0..2 {
+            let e = ev(0, 8, 2, FailureKind::DataSetupError, None);
+            s.record(&e, dir.dim_of(e.device));
+        }
+        let digest = s.digest();
+        s.compact();
+        // Seal = (8/4)*4 = 8: buckets 0..8 fold to {0, 4}; bucket 8 stays
+        // unfolded with both its kinds intact.
+        let buckets: Vec<u32> = s.partitions[0].cells.keys().map(|k| k.bucket).collect();
+        assert_eq!(buckets, vec![0, 4, 8, 8]);
+        let edge_total: u64 = s.partitions[0]
+            .cells
+            .iter()
+            .filter(|(k, _)| k.bucket == 8)
+            .map(|(_, c)| c.count)
+            .sum();
+        assert_eq!(edge_total, 3, "boundary bucket neither dropped nor doubled");
+        let total: u64 = s.partitions[0].cells.values().map(|c| c.count).sum();
+        assert_eq!(total, 11, "no records lost");
+        assert_eq!(s.digest(), digest, "canonical digest survives edge seal");
+        // A second sweep over the already-sealed layout is a no-op fold.
+        let cells = s.cells();
+        s.compact();
+        assert_eq!(s.cells(), cells);
+        assert_eq!(s.digest(), digest);
+    }
+
+    /// The same edge case through the auto-compaction path: sweeps fired
+    /// mid-stream while the newest bucket sits on a rollup edge answer
+    /// identically to a never-compacted store.
+    #[test]
+    fn auto_compaction_at_rollup_edges_matches_uncompacted() {
+        let cfg = StoreConfig {
+            bucket_ms: 1_000,
+            rollup_buckets: 4,
+            partitions: 2,
+            auto_compact_every: 3,
+        };
+        let plain = StoreConfig {
+            auto_compact_every: 0,
+            ..cfg
+        };
+        let dir = DeviceDirectory::default();
+        let mut auto = Store::new(&cfg);
+        let mut manual = Store::new(&plain);
+        // Every record lands exactly on a rollup edge (buckets 0,4,8,...),
+        // so each auto sweep runs with max_bucket == seal.
+        for i in 0..24u64 {
+            let e = ev(
+                (i % 5) as u32,
+                (i / 2) * 4,
+                1,
+                FailureKind::OutOfService,
+                None,
+            );
+            auto.record(&e, dir.dim_of(e.device));
+            manual.record(&e, dir.dim_of(e.device));
+        }
+        assert!(auto.compactions() > 0, "auto sweeps actually fired");
+        assert_eq!(auto.inserted(), manual.inserted());
+        assert_eq!(auto.digest(), manual.digest());
+    }
 }

@@ -1,0 +1,224 @@
+//! Versioned pipeline checkpoint: the whole stream state as one frame.
+//!
+//! Layout (all integers LEB128 varints unless noted):
+//!
+//! ```text
+//! "SP" version(u8)
+//! window_ms lateness_ms hot_windows late_flush        stream config
+//! virtual_shards collector_lateness_ms                collector config
+//! bucket_ms rollup_buckets partitions auto_compact    store config
+//! cursor sealed_before late_seq                       replay position
+//! counters x9                                         bookkeeping
+//! len collector_checkpoint                            embedded "CK" frame
+//! manifest                                            see segment module
+//! n (window_index len store_image)*                   pending windows
+//! len store_image                                     late lane
+//! crc32 (u32 LE)                                      over all prior bytes
+//! ```
+//!
+//! The checkpoint carries everything except sealed segment *contents* —
+//! those reload from the [`SegmentStore`](crate::SegmentStore) backend and
+//! are cross-checked against the manifest. Restore is total: truncated,
+//! bit-flipped, or garbage bytes yield a typed [`StreamError`].
+
+use crate::error::{check_crc, narrow, read_varint, take};
+use crate::pipeline::{StreamConfig, StreamCounters, StreamPipeline};
+use crate::segment::{decode_manifest, decode_segment, encode_manifest, SegmentStore};
+use crate::StreamError;
+use cellrel_ingest::codec::{crc32, write_varint};
+use cellrel_ingest::{restore_checkpoint, save_checkpoint, CollectorConfig};
+use cellrel_store::{restore_store, save_store, DeviceDirectory, Store, StoreConfig};
+use cellrel_types::SimDuration;
+use std::collections::BTreeMap;
+
+/// Magic bytes opening a pipeline checkpoint.
+pub const CKPT_STREAM_MAGIC: [u8; 2] = *b"SP";
+/// Current pipeline checkpoint schema version.
+pub const CKPT_STREAM_VERSION: u8 = 1;
+
+impl<'d> StreamPipeline<'d> {
+    /// Serialize the full pipeline state. Pure: checkpointing never
+    /// mutates the pipeline, so any cadence (every seal, every batch) is
+    /// behaviour-neutral.
+    pub fn checkpoint(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(1024);
+        out.extend_from_slice(&CKPT_STREAM_MAGIC);
+        out.push(CKPT_STREAM_VERSION);
+        write_varint(&mut out, self.cfg.window_ms);
+        write_varint(&mut out, self.cfg.lateness_ms);
+        write_varint(&mut out, self.cfg.hot_windows as u64);
+        write_varint(&mut out, self.cfg.late_flush);
+        write_varint(&mut out, self.cfg.collector.virtual_shards as u64);
+        write_varint(&mut out, self.cfg.collector.lateness.as_millis());
+        write_varint(&mut out, self.cfg.store.bucket_ms);
+        write_varint(&mut out, u64::from(self.cfg.store.rollup_buckets));
+        write_varint(&mut out, self.cfg.store.partitions as u64);
+        write_varint(&mut out, self.cfg.store.auto_compact_every);
+        write_varint(&mut out, self.cursor);
+        write_varint(&mut out, self.sealed_before);
+        write_varint(&mut out, self.late_seq);
+        for c in counters_fields(&self.counters) {
+            write_varint(&mut out, c);
+        }
+        let ck = save_checkpoint(&self.collector);
+        write_varint(&mut out, ck.len() as u64);
+        out.extend_from_slice(&ck);
+        encode_manifest(&self.manifest, &mut out);
+        write_varint(&mut out, self.pending.len() as u64);
+        for (&w, delta) in &self.pending {
+            write_varint(&mut out, w);
+            let img = save_store(delta);
+            write_varint(&mut out, img.len() as u64);
+            out.extend_from_slice(&img);
+        }
+        let img = save_store(&self.late);
+        write_varint(&mut out, img.len() as u64);
+        out.extend_from_slice(&img);
+        let crc = crc32(&out);
+        out.extend_from_slice(&crc.to_le_bytes());
+        out
+    }
+
+    /// Rebuild a pipeline from a checkpoint and its segment backend.
+    /// Every manifest entry is reloaded and verified (missing or tampered
+    /// segments are typed errors); the hot/base tiers are rebuilt by
+    /// replaying the manifest in seal order, so the merged view — and the
+    /// behaviour of every subsequent [`offer`](StreamPipeline::offer) — is
+    /// exactly what the uninterrupted pipeline would have produced.
+    pub fn restore(
+        bytes: &[u8],
+        dir: &'d DeviceDirectory,
+        segs: &dyn SegmentStore,
+    ) -> Result<Self, StreamError> {
+        let payload = check_crc(bytes, CKPT_STREAM_MAGIC.len() + 1)?;
+        if payload[..2] != CKPT_STREAM_MAGIC {
+            return Err(StreamError::BadMagic);
+        }
+        if payload[2] != CKPT_STREAM_VERSION {
+            return Err(StreamError::BadVersion(payload[2]));
+        }
+        let mut pos = 3usize;
+        let window_ms = read_varint(payload, &mut pos)?;
+        let lateness_ms = read_varint(payload, &mut pos)?;
+        let hot_windows: usize = narrow(read_varint(payload, &mut pos)?, "hot_windows")?;
+        let late_flush = read_varint(payload, &mut pos)?;
+        let virtual_shards: usize = narrow(read_varint(payload, &mut pos)?, "virtual_shards")?;
+        let collector_lateness = read_varint(payload, &mut pos)?;
+        let store = StoreConfig {
+            bucket_ms: read_varint(payload, &mut pos)?,
+            rollup_buckets: narrow(read_varint(payload, &mut pos)?, "rollup_buckets")?,
+            partitions: narrow(read_varint(payload, &mut pos)?, "partitions")?,
+            auto_compact_every: read_varint(payload, &mut pos)?,
+        };
+        let cfg = StreamConfig {
+            window_ms,
+            lateness_ms,
+            hot_windows,
+            late_flush,
+            collector: CollectorConfig {
+                virtual_shards,
+                lateness: SimDuration::from_millis(collector_lateness),
+                ..CollectorConfig::default()
+            },
+            store,
+        };
+        cfg.validate()?;
+        let cursor = read_varint(payload, &mut pos)?;
+        let sealed_before = read_varint(payload, &mut pos)?;
+        let late_seq = read_varint(payload, &mut pos)?;
+        let mut cfields = [0u64; 9];
+        for c in cfields.iter_mut() {
+            *c = read_varint(payload, &mut pos)?;
+        }
+        let counters = counters_from_fields(cfields);
+
+        let ck_len: usize = narrow(read_varint(payload, &mut pos)?, "collector length")?;
+        let collector = restore_checkpoint(take(payload, &mut pos, ck_len)?)?;
+        let manifest = decode_manifest(payload, &mut pos)?;
+
+        let npending: usize = narrow(read_varint(payload, &mut pos)?, "pending count")?;
+        if npending > payload.len().saturating_sub(pos) / 2 + 1 {
+            return Err(StreamError::Malformed("pending count"));
+        }
+        let mut pending = BTreeMap::new();
+        let mut prev: Option<u64> = None;
+        for _ in 0..npending {
+            let w = read_varint(payload, &mut pos)?;
+            if w < sealed_before || prev.is_some_and(|p| w <= p) {
+                return Err(StreamError::Malformed("pending window order"));
+            }
+            prev = Some(w);
+            let len: usize = narrow(read_varint(payload, &mut pos)?, "pending image length")?;
+            let delta = restore_store(take(payload, &mut pos, len)?)?;
+            if *delta.config() != cfg.store {
+                return Err(StreamError::Malformed("pending window store config"));
+            }
+            pending.insert(w, delta);
+        }
+        let late_len: usize = narrow(read_varint(payload, &mut pos)?, "late image length")?;
+        let late = restore_store(take(payload, &mut pos, late_len)?)?;
+        if *late.config() != cfg.store {
+            return Err(StreamError::Malformed("late lane store config"));
+        }
+        if pos != payload.len() {
+            return Err(StreamError::TrailingBytes);
+        }
+
+        let mut p = StreamPipeline {
+            cfg,
+            dir,
+            collector,
+            cursor,
+            sealed_before,
+            pending,
+            late,
+            late_seq,
+            base: Store::new(&cfg.store),
+            hot: Default::default(),
+            manifest: Vec::with_capacity(manifest.len()),
+            counters: StreamCounters::default(),
+        };
+        // Replay the manifest in seal order, verifying each segment
+        // against its entry; this reproduces the hot/base tier split.
+        for entry in manifest {
+            let seg_bytes = segs.get(&entry.name())?;
+            let (got, delta) = decode_segment(&seg_bytes)?;
+            if got != entry || *delta.config() != cfg.store {
+                return Err(StreamError::SegmentMismatch(entry.name()));
+            }
+            p.manifest.push(entry);
+            p.tier_insert(entry, delta, false);
+        }
+        p.counters = counters;
+        p.counters.restores += 1;
+        Ok(p)
+    }
+}
+
+fn counters_fields(c: &StreamCounters) -> [u64; 9] {
+    [
+        c.batches,
+        c.records,
+        c.late_records,
+        c.windows_sealed,
+        c.empty_windows,
+        c.late_segments,
+        c.segments_persisted,
+        c.base_folds,
+        c.restores,
+    ]
+}
+
+fn counters_from_fields(f: [u64; 9]) -> StreamCounters {
+    StreamCounters {
+        batches: f[0],
+        records: f[1],
+        late_records: f[2],
+        windows_sealed: f[3],
+        empty_windows: f[4],
+        late_segments: f[5],
+        segments_persisted: f[6],
+        base_folds: f[7],
+        restores: f[8],
+    }
+}

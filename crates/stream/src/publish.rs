@@ -1,0 +1,35 @@
+//! Serving the live stream: per-sealed-window snapshot publishes.
+
+use crate::pipeline::StreamPipeline;
+use crate::segment::SegmentStore;
+use crate::StreamError;
+use cellrel_queryd::{QuerydCore, Snapshot};
+use std::sync::Arc;
+
+/// Drive a pipeline over `batches`, publishing the merged view into a
+/// query-daemon core after **every call that seals at least one segment**
+/// and once more after the end-of-stream flush. `on_publish` receives each
+/// published snapshot (epoch + store), so callers can retain them and
+/// later replay served answers against the exact state that produced them
+/// — the same harness shape as `queryd::feed_events`, with window seals
+/// as the publish cadence. Returns the final epoch.
+pub fn run_published(
+    pipeline: &mut StreamPipeline<'_>,
+    batches: &[Vec<u8>],
+    segs: &mut dyn SegmentStore,
+    core: &QuerydCore,
+    mut on_publish: impl FnMut(&Arc<Snapshot>),
+) -> Result<u64, StreamError> {
+    core.publish(pipeline.store());
+    on_publish(&core.snapshot());
+    for bytes in batches {
+        if !pipeline.offer(bytes, segs)?.is_empty() {
+            core.publish(pipeline.store());
+            on_publish(&core.snapshot());
+        }
+    }
+    pipeline.flush(segs)?;
+    let epoch = core.publish(pipeline.store());
+    on_publish(&core.snapshot());
+    Ok(epoch)
+}

@@ -1,0 +1,274 @@
+//! Tiered segment storage: CRC-framed persisted window deltas plus the
+//! manifest that names them.
+//!
+//! A **segment** is one sealed store delta — the cells contributed by a
+//! single time window (or one flush of the late lane) — wrapped in a
+//! versioned frame: magic, header fields, the `cellrel-store` persistence
+//! image, CRC-32 trailer. Segments are immutable once written and are
+//! re-written idempotently on replay (a restart may reseal a window whose
+//! segment already landed; the bytes are identical by determinism).
+//!
+//! The **manifest** is the ordered list of [`SegmentEntry`] headers, one
+//! per seal, serialized inside the pipeline checkpoint. On restore every
+//! entry is reloaded from the [`SegmentStore`] backend and cross-checked
+//! against the manifest (kind, index, watermark, record count, digest) —
+//! a missing or tampered segment is a typed error, not a wrong answer.
+
+use crate::error::{check_crc, narrow, read_varint, take};
+use crate::StreamError;
+use cellrel_ingest::codec::{crc32, write_varint};
+use cellrel_store::{restore_store, save_store, Store};
+use std::collections::BTreeMap;
+
+/// Magic bytes opening every segment frame.
+pub const SEG_MAGIC: [u8; 2] = *b"SG";
+/// Current segment frame schema version.
+pub const SEG_VERSION: u8 = 1;
+
+/// What a segment holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SegmentKind {
+    /// One sealed time window's delta; `index` is the window index.
+    Window,
+    /// One flush of the late lane; `index` is the flush sequence number.
+    Late,
+}
+
+impl SegmentKind {
+    fn as_u8(self) -> u8 {
+        match self {
+            SegmentKind::Window => 0,
+            SegmentKind::Late => 1,
+        }
+    }
+
+    fn from_u8(v: u8) -> Result<Self, StreamError> {
+        match v {
+            0 => Ok(SegmentKind::Window),
+            1 => Ok(SegmentKind::Late),
+            _ => Err(StreamError::Malformed("segment kind")),
+        }
+    }
+}
+
+/// One manifest line: everything needed to name, reload, and verify a
+/// persisted segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SegmentEntry {
+    /// Window segment or late-lane flush.
+    pub kind: SegmentKind,
+    /// Window index (`start_ms / window_ms`) or late-flush sequence.
+    pub index: u64,
+    /// Collector watermark at seal time, ms.
+    pub watermark_ms: u64,
+    /// Records folded into the segment's delta.
+    pub records: u64,
+    /// `Store::digest` of the delta (canonical, layout-invariant).
+    pub digest: u64,
+    /// Encoded frame length in bytes (not part of the frame header).
+    pub bytes: u64,
+}
+
+impl SegmentEntry {
+    /// The backend name the segment persists under.
+    pub fn name(&self) -> String {
+        match self.kind {
+            SegmentKind::Window => format!("w{:010}.seg", self.index),
+            SegmentKind::Late => format!("l{:010}.seg", self.index),
+        }
+    }
+}
+
+/// Encode one sealed delta as a segment frame. The returned bytes are a
+/// pure function of `(entry, store)` — replays overwrite identically.
+pub fn encode_segment(entry: &SegmentEntry, store: &Store) -> Vec<u8> {
+    let image = save_store(store);
+    let mut out = Vec::with_capacity(image.len() + 32);
+    out.extend_from_slice(&SEG_MAGIC);
+    out.push(SEG_VERSION);
+    out.push(entry.kind.as_u8());
+    write_varint(&mut out, entry.index);
+    write_varint(&mut out, entry.watermark_ms);
+    write_varint(&mut out, entry.records);
+    write_varint(&mut out, entry.digest);
+    write_varint(&mut out, image.len() as u64);
+    out.extend_from_slice(&image);
+    let crc = crc32(&out);
+    out.extend_from_slice(&crc.to_le_bytes());
+    out
+}
+
+/// Decode a segment frame back into its header and delta. Total: hostile
+/// bytes yield a typed [`StreamError`]. The returned entry's `bytes` field
+/// is the frame length.
+pub fn decode_segment(bytes: &[u8]) -> Result<(SegmentEntry, Store), StreamError> {
+    let payload = check_crc(bytes, SEG_MAGIC.len() + 2)?;
+    if payload[..2] != SEG_MAGIC {
+        return Err(StreamError::BadMagic);
+    }
+    if payload[2] != SEG_VERSION {
+        return Err(StreamError::BadVersion(payload[2]));
+    }
+    let mut pos = 3usize;
+    let kind = SegmentKind::from_u8(*payload.get(pos).ok_or(StreamError::Truncated)?)?;
+    pos += 1;
+    let index = read_varint(payload, &mut pos)?;
+    let watermark_ms = read_varint(payload, &mut pos)?;
+    let records = read_varint(payload, &mut pos)?;
+    let digest = read_varint(payload, &mut pos)?;
+    let image_len: usize = narrow(read_varint(payload, &mut pos)?, "segment image length")?;
+    let image = take(payload, &mut pos, image_len)?;
+    if pos != payload.len() {
+        return Err(StreamError::TrailingBytes);
+    }
+    let store = restore_store(image)?;
+    if store.inserted() != records || store.digest() != digest {
+        return Err(StreamError::Malformed("segment header/image disagreement"));
+    }
+    let entry = SegmentEntry {
+        kind,
+        index,
+        watermark_ms,
+        records,
+        digest,
+        bytes: bytes.len() as u64,
+    };
+    Ok((entry, store))
+}
+
+/// Serialize a manifest (an ordered entry list) as a bare field sequence —
+/// embedded in the pipeline checkpoint, which provides framing and CRC.
+pub fn encode_manifest(entries: &[SegmentEntry], out: &mut Vec<u8>) {
+    write_varint(out, entries.len() as u64);
+    for e in entries {
+        out.push(e.kind.as_u8());
+        write_varint(out, e.index);
+        write_varint(out, e.watermark_ms);
+        write_varint(out, e.records);
+        write_varint(out, e.digest);
+        write_varint(out, e.bytes);
+    }
+}
+
+/// Inverse of [`encode_manifest`]. Total; bounds entry count by the bytes
+/// actually present so a lying length cannot balloon the allocation.
+pub fn decode_manifest(bytes: &[u8], pos: &mut usize) -> Result<Vec<SegmentEntry>, StreamError> {
+    let n: usize = narrow(read_varint(bytes, pos)?, "manifest length")?;
+    // Each entry takes at least 6 bytes (kind + five 1-byte varints).
+    if n > bytes.len().saturating_sub(*pos) / 6 + 1 {
+        return Err(StreamError::Malformed("manifest length"));
+    }
+    let mut entries = Vec::with_capacity(n);
+    for _ in 0..n {
+        let kind = SegmentKind::from_u8(*bytes.get(*pos).ok_or(StreamError::Truncated)?)?;
+        *pos += 1;
+        entries.push(SegmentEntry {
+            kind,
+            index: read_varint(bytes, pos)?,
+            watermark_ms: read_varint(bytes, pos)?,
+            records: read_varint(bytes, pos)?,
+            digest: read_varint(bytes, pos)?,
+            bytes: read_varint(bytes, pos)?,
+        });
+    }
+    Ok(entries)
+}
+
+/// Where sealed segments persist. The pipeline only needs put-by-name and
+/// get-by-name; `put` must overwrite idempotently (restart replays may
+/// reseal a window whose segment already landed).
+pub trait SegmentStore {
+    /// Persist `bytes` under `name`, replacing any previous content.
+    fn put(&mut self, name: &str, bytes: &[u8]) -> Result<(), StreamError>;
+    /// Fetch the bytes persisted under `name`.
+    fn get(&self, name: &str) -> Result<Vec<u8>, StreamError>;
+}
+
+/// In-memory segment backend: the hot default for tests and campaigns,
+/// and the stand-in for "durable storage that survives the kill".
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MemSegments {
+    segments: BTreeMap<String, Vec<u8>>,
+}
+
+impl MemSegments {
+    /// An empty backend.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Segments currently held.
+    pub fn len(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// True when no segment has been persisted yet.
+    pub fn is_empty(&self) -> bool {
+        self.segments.is_empty()
+    }
+
+    /// Total persisted bytes across all segments.
+    pub fn bytes(&self) -> u64 {
+        self.segments.values().map(|v| v.len() as u64).sum()
+    }
+
+    /// Mutable access for fault injection in tests (bit flips, deletions).
+    pub fn raw_mut(&mut self) -> &mut BTreeMap<String, Vec<u8>> {
+        &mut self.segments
+    }
+}
+
+impl SegmentStore for MemSegments {
+    fn put(&mut self, name: &str, bytes: &[u8]) -> Result<(), StreamError> {
+        self.segments.insert(name.to_string(), bytes.to_vec());
+        Ok(())
+    }
+
+    fn get(&self, name: &str) -> Result<Vec<u8>, StreamError> {
+        self.segments
+            .get(name)
+            .cloned()
+            .ok_or_else(|| StreamError::SegmentMissing(name.to_string()))
+    }
+}
+
+/// Filesystem segment backend: one file per segment under a directory.
+/// Used by the long-running bins; writes go through a temp file + rename
+/// so a kill mid-write never leaves a torn segment under its final name.
+#[derive(Debug, Clone)]
+pub struct DirSegments {
+    dir: std::path::PathBuf,
+}
+
+impl DirSegments {
+    /// Open (creating if needed) a directory-backed segment store.
+    pub fn open(dir: impl Into<std::path::PathBuf>) -> Result<Self, StreamError> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir).map_err(|e| StreamError::Io(e.to_string()))?;
+        Ok(DirSegments { dir })
+    }
+
+    /// The backing directory.
+    pub fn dir(&self) -> &std::path::Path {
+        &self.dir
+    }
+}
+
+impl SegmentStore for DirSegments {
+    fn put(&mut self, name: &str, bytes: &[u8]) -> Result<(), StreamError> {
+        let tmp = self.dir.join(format!("{name}.tmp"));
+        let fin = self.dir.join(name);
+        std::fs::write(&tmp, bytes).map_err(|e| StreamError::Io(e.to_string()))?;
+        std::fs::rename(&tmp, &fin).map_err(|e| StreamError::Io(e.to_string()))
+    }
+
+    fn get(&self, name: &str) -> Result<Vec<u8>, StreamError> {
+        match std::fs::read(self.dir.join(name)) {
+            Ok(b) => Ok(b),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                Err(StreamError::SegmentMissing(name.to_string()))
+            }
+            Err(e) => Err(StreamError::Io(e.to_string())),
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! Turning a study's event log into a live-ordered batch stream.
+
+use cellrel_ingest::encode_batch;
+use cellrel_types::{DeviceId, FailureEvent};
+use std::collections::BTreeMap;
+
+/// Encode `events` as per-device upload batches (at most `cap` records
+/// each, per-device sequence numbers from 0) and order them by **upload
+/// time** — the newest record in each batch, device id as tie-break — the
+/// way a live fleet's uploads interleave at the collector. Unlike the
+/// device-ordered replay the batch bins use, this ordering advances the
+/// event-time watermark monotonically with bounded out-of-orderness, so
+/// it exercises window sealing and the late lane realistically.
+pub fn batches_from_events(events: &[FailureEvent], cap: usize) -> Vec<Vec<u8>> {
+    let cap = cap.max(1);
+    let mut per_device: BTreeMap<u32, Vec<FailureEvent>> = BTreeMap::new();
+    for e in events {
+        per_device.entry(e.device.0).or_default().push(*e);
+    }
+    // (upload_ms, device, seq) totally orders the batches.
+    let mut batches: Vec<(u64, u32, u64, Vec<u8>)> = Vec::new();
+    for (device, mut evs) in per_device {
+        evs.sort_by_key(|e| e.start.as_millis());
+        for (seq, chunk) in evs.chunks(cap).enumerate() {
+            let upload_ms = chunk
+                .last()
+                .expect("chunks are non-empty")
+                .start
+                .as_millis();
+            let bytes = encode_batch(DeviceId(device), seq as u64, chunk);
+            batches.push((upload_ms, device, seq as u64, bytes));
+        }
+    }
+    batches.sort_by_key(|a| (a.0, a.1, a.2));
+    batches.into_iter().map(|(_, _, _, b)| b).collect()
+}
