@@ -13,9 +13,16 @@
 //! `--partitions P` (default 16), `--rounds R` (workload repetitions,
 //! default 50), `--compact` (fold sealed buckets before querying),
 //! `--render` (print each canonical query's result table once),
-//! `--verify` (rebuild at 1, 2 and 8 threads and with compaction on, and
-//! fail unless every digest and every query answer matches), `--metrics`
-//! (print the metrics tables, including a store persist round trip).
+//! `--verify` (rebuild at 1, 2 and 8 threads and with compaction on, fail
+//! unless every digest and every query answer matches, and require the
+//! columnar scan path byte-identical to the row reference engine on every
+//! layout), `--metrics` (print the metrics tables, including a store
+//! persist round trip).
+//!
+//! The timed replay runs the workload twice: once through the row
+//! reference engine on the store as built (`row_queries_per_sec`), then
+//! through the columnar scan path on the sealed layout — the headline
+//! `queries_per_sec` — with the ratio reported as `columnar_speedup`.
 //!
 //! The final `digest: <hex>` line is the store's canonical content digest.
 //! It is bit-identical at any thread count, partition count, and with
@@ -153,25 +160,48 @@ fn main() {
         print!("{}", t2_store.render());
     }
 
-    // Timed replay: the mixed workload, `rounds` times over.
+    // Timed replay, `rounds` times over, on both layouts: the row tier as
+    // built (the pre-columnar baseline shape) via the row reference
+    // engine, then the sealed columnar layout via the segment scan path.
+    // The columnar number is the headline `queries_per_sec`.
     let t2 = Instant::now();
     let mut executed = 0u64;
+    for _ in 0..rounds {
+        for (_, q) in &queries {
+            store.query_row(q).expect("workload queries are legal");
+            executed += 1;
+        }
+    }
+    let row_elapsed = t2.elapsed();
+    let row_qps = executed as f64 / row_elapsed.as_secs_f64().max(1e-9);
+
+    let mut sealed = store.clone();
+    sealed.seal_columnar();
+    assert_eq!(sealed.digest(), digest, "sealing is a pure layout change");
+    let t3 = Instant::now();
+    let mut sealed_executed = 0u64;
     let mut scanned = 0u64;
     for _ in 0..rounds {
         for (_, q) in &queries {
-            let rs = store
+            let rs = sealed
                 .query_with(q, &tele)
                 .expect("workload queries are legal");
-            executed += 1;
+            sealed_executed += 1;
             scanned += rs.cells_scanned;
         }
     }
-    let elapsed = t2.elapsed();
+    let elapsed = t3.elapsed();
+    let columnar_qps = sealed_executed as f64 / elapsed.as_secs_f64().max(1e-9);
     eprintln!(
-        "query: {executed} queries in {:.2} s ({:.0} queries/s, {:.0} cells scanned/query)",
+        "query: row engine {executed} queries in {:.2} s ({row_qps:.0} queries/s)",
+        row_elapsed.as_secs_f64(),
+    );
+    eprintln!(
+        "query: columnar engine {sealed_executed} queries in {:.2} s \
+         ({columnar_qps:.0} queries/s, {:.0} cells scanned/query, {:.2}x row)",
         elapsed.as_secs_f64(),
-        executed as f64 / elapsed.as_secs_f64().max(1e-9),
-        scanned as f64 / executed.max(1) as f64,
+        scanned as f64 / sealed_executed.max(1) as f64,
+        columnar_qps / row_qps.max(1e-9),
     );
 
     if verify {
@@ -201,6 +231,23 @@ fn main() {
             }
         }
         eprintln!("query: digest and all answers stable under compaction");
+        // Differential engine check: on every layout the columnar scan
+        // must be byte-identical to the row reference (counters included).
+        for (layout, s) in [
+            ("hot", &store),
+            ("compacted", &compacted),
+            ("sealed", &sealed),
+        ] {
+            for (name, q) in &queries {
+                let col = s.query(q).expect("legal");
+                let row = s.query_row(q).expect("legal");
+                if col != row {
+                    eprintln!("query: FAIL — '{name}' row vs columnar diverge on {layout} layout");
+                    std::process::exit(1);
+                }
+            }
+        }
+        eprintln!("query: row and columnar engines byte-identical on all layouts");
     }
 
     if metrics {
@@ -239,16 +286,16 @@ fn main() {
         .config("partitions", partitions)
         .config("rounds", rounds)
         .config("compact", compact)
-        .metric("queries", executed as f64)
-        .metric(
-            "queries_per_sec",
-            executed as f64 / elapsed.as_secs_f64().max(1e-9),
-        )
+        .metric("queries", sealed_executed as f64)
+        .metric("queries_per_sec", columnar_qps)
+        .metric("row_queries_per_sec", row_qps)
+        .metric("columnar_speedup", columnar_qps / row_qps.max(1e-9))
         .metric(
             "cells_scanned_per_query",
-            scanned as f64 / executed.max(1) as f64,
+            scanned as f64 / sealed_executed.max(1) as f64,
         )
         .metric("cells", store.cells() as f64)
+        .metric("sealed_cells", sealed.sealed_cells() as f64)
         .metric(
             "build_records_per_sec",
             store.inserted() as f64 / build_elapsed.as_secs_f64().max(1e-9),

@@ -272,11 +272,19 @@ pub fn feed_events(
         pending += 1;
         if pending == chunk {
             pending = 0;
-            core.publish(sink.clone().into_store());
+            // Published snapshots are immutable, so flip them to the
+            // columnar layout: concurrent readers scan segments instead of
+            // the row map. Pure layout change — answers and digests are
+            // invariant (the store's differential suite proves it).
+            let mut snap = sink.clone().into_store();
+            snap.seal_columnar();
+            core.publish(snap);
             on_publish(&core.snapshot());
         }
     }
-    let epoch = core.publish(sink.into_store());
+    let mut snap = sink.into_store();
+    snap.seal_columnar();
+    let epoch = core.publish(snap);
     on_publish(&core.snapshot());
     epoch
 }

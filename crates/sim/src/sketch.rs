@@ -404,23 +404,33 @@ impl SparseSketch {
     /// for query-time group accumulation, where cloning every scanned
     /// cell's bucket vector just to consume it would dominate the scan.
     pub fn merge_ref(&mut self, other: &SparseSketch) {
-        if other.count == 0 {
+        self.merge_run(other.count, other.min, other.max, &other.buckets);
+    }
+
+    /// Merge a raw sketch run — `(count, min, max)` header plus strictly
+    /// ascending `(bucket, count)` pairs — without materializing the other
+    /// side as a `SparseSketch`. Sealed columnar segments pool their sketch
+    /// buckets in one contiguous arena; query-time accumulation merges pool
+    /// slices directly through this entry point. The run must be valid
+    /// sketch content (as produced by a sketch's own bucket vector).
+    pub fn merge_run(&mut self, count: u64, min: u64, max: u64, run: &[(u32, u64)]) {
+        if count == 0 {
             return;
         }
-        self.count += other.count;
+        self.count += count;
         if self.buckets.is_empty() {
-            self.min = other.min;
-            self.max = other.max;
-            self.buckets = other.buckets.clone();
+            self.min = min;
+            self.max = max;
+            self.buckets = run.to_vec();
             return;
         }
-        self.min = self.min.min(other.min);
-        self.max = self.max.max(other.max);
+        self.min = self.min.min(min);
+        self.max = self.max.max(max);
         // Folding a small sketch into a large accumulator is the query hot
         // path: patch the accumulator in place instead of rebuilding its
         // whole bucket vector per merge.
-        if other.buckets.len() * 8 <= self.buckets.len() {
-            for &(i, c) in &other.buckets {
+        if run.len() * 8 <= self.buckets.len() {
+            for &(i, c) in run {
                 match self.buckets.binary_search_by_key(&i, |&(j, _)| j) {
                     Ok(p) => self.buckets[p].1 += c,
                     Err(p) => self.buckets.insert(p, (i, c)),
@@ -428,8 +438,8 @@ impl SparseSketch {
             }
             return;
         }
-        let mut merged = Vec::with_capacity(self.buckets.len() + other.buckets.len());
-        let (mut a, mut b) = (self.buckets.iter().peekable(), other.buckets.iter());
+        let mut merged = Vec::with_capacity(self.buckets.len() + run.len());
+        let (mut a, mut b) = (self.buckets.iter().peekable(), run.iter());
         let mut next_b = b.next();
         while let Some(&&(ai, ac)) = a.peek() {
             match next_b {

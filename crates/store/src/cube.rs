@@ -24,7 +24,17 @@
 //! the grouping itself cannot observe the fold. [`Store::digest`] hashes a
 //! *canonical rolled-up view*, so it is additionally invariant across
 //! compaction on/off and across the partition count.
+//!
+//! **Tiers.** A partition holds a mutable row tier (the `BTreeMap` hot
+//! cells new records land in) plus at most a handful of immutable
+//! [`ColumnSegment`] runs holding sealed data in columnar layout.
+//! Compaction moves folded cells into a single segment by k-way merging
+//! sorted runs; [`Store::seal_columnar`] moves *all* cells columnar
+//! without folding (the stream pipeline seals finished windows this way).
+//! Both are pure layout changes: answers, digests and merge results are
+//! identical whether a cell lives in the row or the columnar tier.
 
+use crate::columnar::{merge_runs, ColumnSegment, Run};
 use cellrel_ingest::codec::{unzigzag, zigzag};
 use cellrel_ingest::AcceptedSink;
 use cellrel_sim::{run_sharded, Digest64, Merge, SparseSketch, Telemetry};
@@ -317,6 +327,9 @@ impl DeviceDirectory {
 #[derive(Debug, Clone, Default, PartialEq)]
 pub(crate) struct Partition {
     pub(crate) cells: BTreeMap<CellKey, Cell>,
+    /// Sealed columnar runs (key-sorted, immutable). Compaction and
+    /// merging keep this collapsed to at most one run.
+    pub(crate) segments: Vec<ColumnSegment>,
     pub(crate) devices: BTreeMap<u32, DeviceRec>,
     /// Records inserted (monotonic; not reduced by compaction).
     pub(crate) inserted: u64,
@@ -330,31 +343,92 @@ pub(crate) struct Partition {
 }
 
 impl Partition {
+    fn physical_cells(&self) -> usize {
+        self.cells.len() + self.segments.iter().map(ColumnSegment::len).sum::<usize>()
+    }
+
     fn compact(&mut self, rollup: u32) {
         self.compactions += 1;
         self.since_compact = 0;
-        let Some(max_bucket) = self.cells.keys().map(|k| k.bucket).max() else {
+        let max_hot = self.cells.keys().next_back().map(|k| k.bucket);
+        let max_seg = self.segments.iter().map(|s| s.zones().bucket.1).max();
+        let Some(max_bucket) = max_hot.into_iter().chain(max_seg).max() else {
             return;
         };
         let seal = (max_bucket / rollup) * rollup;
-        if seal == 0 {
+        if seal == 0 && self.segments.len() <= 1 {
             return;
         }
-        let before = self.cells.len();
-        let mut folded: BTreeMap<CellKey, Cell> = BTreeMap::new();
+        let before = self.physical_cells();
+        // Hot cells below the seal fold onto rollup starts and leave the
+        // row tier; open buckets stay hot and mutable.
+        let mut dissolved: BTreeMap<CellKey, Cell> = BTreeMap::new();
+        let mut open: BTreeMap<CellKey, Cell> = BTreeMap::new();
         for (mut key, cell) in std::mem::take(&mut self.cells) {
             if key.bucket < seal {
                 key.bucket = (key.bucket / rollup) * rollup;
+                match dissolved.get_mut(&key) {
+                    Some(c) => c.merge(cell),
+                    None => {
+                        dissolved.insert(key, cell);
+                    }
+                }
+            } else {
+                open.insert(key, cell);
             }
-            match folded.get_mut(&key) {
-                Some(c) => c.merge(cell),
-                None => {
-                    folded.insert(key, cell);
+        }
+        self.cells = open;
+        // An existing run stays sorted under the fold only if the fold
+        // touches none of its rows (open bucket, or already aligned — the
+        // fold is then the identity). Runs with unaligned sealed rows
+        // (stream seals) dissolve into the fold map, which re-sorts them.
+        let old = std::mem::take(&mut self.segments);
+        let stable: Vec<bool> = old
+            .iter()
+            .map(|s| s.buckets.iter().all(|&b| b >= seal || b % rollup == 0))
+            .collect();
+        for (seg, keep) in old.iter().zip(&stable) {
+            if *keep {
+                continue;
+            }
+            for (mut key, cell) in seg.rows() {
+                if key.bucket < seal {
+                    key.bucket = (key.bucket / rollup) * rollup;
+                }
+                match dissolved.get_mut(&key) {
+                    Some(c) => c.merge(cell),
+                    None => {
+                        dissolved.insert(key, cell);
+                    }
                 }
             }
         }
-        self.cells_folded += (before - folded.len()) as u64;
-        self.cells = folded;
+        if dissolved.is_empty() && old.len() <= 1 && stable.iter().all(|&s| s) {
+            self.segments = old; // already sealed: a no-op sweep
+        } else {
+            let mut runs: Vec<Run<'_>> = vec![Run::Map(dissolved.into_iter())];
+            runs.extend(
+                old.iter()
+                    .zip(&stable)
+                    .filter(|(_, s)| **s)
+                    .map(|(seg, _)| Run::seg(seg)),
+            );
+            self.segments = merge_runs(runs).into_iter().collect();
+        }
+        self.cells_folded += (before - self.physical_cells()) as u64;
+    }
+
+    /// Move every hot cell into the (single) sealed columnar run, without
+    /// any bucket folding — a pure layout change.
+    fn seal_columnar(&mut self) {
+        if self.cells.is_empty() && self.segments.len() <= 1 {
+            return;
+        }
+        let hot = std::mem::take(&mut self.cells);
+        let old = std::mem::take(&mut self.segments);
+        let mut runs: Vec<Run<'_>> = vec![Run::Map(hot.into_iter())];
+        runs.extend(old.iter().map(Run::seg));
+        self.segments = merge_runs(runs).into_iter().collect();
     }
 }
 
@@ -367,6 +441,18 @@ impl Merge for Partition {
                     self.cells.insert(k, c);
                 }
             }
+        }
+        // Segments from both sides collapse into one canonical run: the
+        // k-way result depends only on the merged content (cell merge is
+        // commutative and associative), so `a.merge(b) == b.merge(a)`
+        // holds structurally even when both sides arrive sealed.
+        if self.segments.len() + o.segments.len() >= 2 {
+            let mine = std::mem::take(&mut self.segments);
+            let mut runs: Vec<Run<'_>> = mine.iter().map(Run::seg).collect();
+            runs.extend(o.segments.iter().map(Run::seg));
+            self.segments = merge_runs(runs).into_iter().collect();
+        } else if self.segments.is_empty() {
+            self.segments = o.segments;
         }
         for (id, rec) in o.devices {
             match self.devices.get_mut(&id) {
@@ -468,9 +554,10 @@ impl Store {
         }
     }
 
-    /// Fold every partition's sealed time buckets onto rollup boundaries.
-    /// Query answers are unchanged (see module docs); only the physical
-    /// cell count drops.
+    /// Fold every partition's sealed time buckets onto rollup boundaries,
+    /// moving the folded cells into the sealed columnar tier. Query
+    /// answers are unchanged (see module docs); only the physical cell
+    /// count and layout change.
     pub fn compact(&mut self) {
         let rollup = self.cfg.rollup_buckets;
         for p in &mut self.partitions {
@@ -478,9 +565,55 @@ impl Store {
         }
     }
 
-    /// Total live cells across partitions.
+    /// Seal every partition's hot cells into its columnar run **without**
+    /// bucket folding — a pure layout change (same cells, same answers,
+    /// same digest) that trades the mutable row tier for branch-light
+    /// columnar scans. The stream pipeline seals finished windows this way
+    /// before they are encoded and tiered.
+    pub fn seal_columnar(&mut self) {
+        for p in &mut self.partitions {
+            p.seal_columnar();
+        }
+    }
+
+    /// Total live cells across partitions (row tier + sealed segments).
     pub fn cells(&self) -> u64 {
-        self.partitions.iter().map(|p| p.cells.len() as u64).sum()
+        self.partitions
+            .iter()
+            .map(|p| p.physical_cells() as u64)
+            .sum()
+    }
+
+    /// Sealed columnar runs across partitions.
+    pub fn sealed_segments(&self) -> u64 {
+        self.partitions
+            .iter()
+            .map(|p| p.segments.len() as u64)
+            .sum()
+    }
+
+    /// Cells living in sealed columnar runs (a subset of [`Store::cells`]).
+    pub fn sealed_cells(&self) -> u64 {
+        self.partitions
+            .iter()
+            .flat_map(|p| &p.segments)
+            .map(|s| s.len() as u64)
+            .sum()
+    }
+
+    /// Encoded `SC` blocks of every sealed segment, in partition order —
+    /// the surface the golden snapshot pins the on-disk columnar layout
+    /// through.
+    pub fn segment_blocks(&self) -> Vec<Vec<u8>> {
+        self.partitions
+            .iter()
+            .flat_map(|p| &p.segments)
+            .map(|s| {
+                let mut out = Vec::new();
+                s.encode(&mut out);
+                out
+            })
+            .collect()
     }
 
     /// Devices in the directory (registered or observed).
@@ -513,6 +646,12 @@ impl Store {
             .flat_map(|p| p.cells.values())
             .map(|c| fixed + 12 * c.sketch.nnz() as u64)
             .sum::<u64>()
+            + self
+                .partitions
+                .iter()
+                .flat_map(|p| &p.segments)
+                .map(ColumnSegment::approx_bytes)
+                .sum::<u64>()
     }
 
     /// Content digest over the **canonical rolled-up view**: every cell's
@@ -532,6 +671,17 @@ impl Store {
                     Some(mine) => mine.merge_ref(c),
                     None => {
                         canon.insert(key, c.clone());
+                    }
+                }
+            }
+            for seg in &p.segments {
+                for (mut key, cell) in seg.rows() {
+                    key.bucket = (key.bucket / rollup) * rollup;
+                    match canon.get_mut(&key) {
+                        Some(mine) => mine.merge(cell),
+                        None => {
+                            canon.insert(key, cell);
+                        }
                     }
                 }
             }
@@ -572,6 +722,8 @@ impl Store {
         for (name, v) in [
             ("store.partitions", self.partitions.len() as u64),
             ("store.cells", self.cells()),
+            ("store.sealed_segments", self.sealed_segments()),
+            ("store.sealed_cells", self.sealed_cells()),
             ("store.devices", self.devices()),
             ("store.inserted", self.inserted()),
             ("store.compactions", self.compactions()),
@@ -828,12 +980,25 @@ mod tests {
         }
         assert_eq!(s.cells(), 10);
         s.compact();
-        // Seal = (9/4)*4 = 8: buckets 0..8 fold to {0, 4}; 8 and 9 stay.
-        let buckets: Vec<u32> = s.partitions[0].cells.keys().map(|k| k.bucket).collect();
-        assert_eq!(buckets, vec![0, 4, 8, 9]);
+        // Seal = (9/4)*4 = 8: buckets 0..8 fold to {0, 4} and move to the
+        // sealed columnar run; 8 and 9 stay hot in the row tier.
+        let hot: Vec<u32> = s.partitions[0].cells.keys().map(|k| k.bucket).collect();
+        assert_eq!(hot, vec![8, 9]);
+        assert_eq!(s.partitions[0].segments.len(), 1);
+        let sealed: Vec<u32> = s.partitions[0].segments[0]
+            .rows()
+            .map(|(k, _)| k.bucket)
+            .collect();
+        assert_eq!(sealed, vec![0, 4]);
+        assert_eq!(s.cells(), 4);
+        assert_eq!(s.sealed_cells(), 2);
         assert_eq!(s.cells_folded(), 6);
         assert_eq!(s.inserted(), 10, "inserted count survives compaction");
-        let total: u64 = s.partitions[0].cells.values().map(|c| c.count).sum();
+        let total: u64 = s.partitions[0].cells.values().map(|c| c.count).sum::<u64>()
+            + s.partitions[0].segments[0]
+                .rows()
+                .map(|(_, c)| c.count)
+                .sum::<u64>();
         assert_eq!(total, 10, "no records lost");
     }
 
@@ -863,10 +1028,15 @@ mod tests {
         }
         let digest = s.digest();
         s.compact();
-        // Seal = (8/4)*4 = 8: buckets 0..8 fold to {0, 4}; bucket 8 stays
-        // unfolded with both its kinds intact.
-        let buckets: Vec<u32> = s.partitions[0].cells.keys().map(|k| k.bucket).collect();
-        assert_eq!(buckets, vec![0, 4, 8, 8]);
+        // Seal = (8/4)*4 = 8: buckets 0..8 fold to the sealed run {0, 4};
+        // bucket 8 stays hot and unfolded with both its kinds intact.
+        let hot: Vec<u32> = s.partitions[0].cells.keys().map(|k| k.bucket).collect();
+        assert_eq!(hot, vec![8, 8]);
+        let sealed: Vec<u32> = s.partitions[0].segments[0]
+            .rows()
+            .map(|(k, _)| k.bucket)
+            .collect();
+        assert_eq!(sealed, vec![0, 4]);
         let edge_total: u64 = s.partitions[0]
             .cells
             .iter()
@@ -874,7 +1044,11 @@ mod tests {
             .map(|(_, c)| c.count)
             .sum();
         assert_eq!(edge_total, 3, "boundary bucket neither dropped nor doubled");
-        let total: u64 = s.partitions[0].cells.values().map(|c| c.count).sum();
+        let total: u64 = s.partitions[0].cells.values().map(|c| c.count).sum::<u64>()
+            + s.partitions[0].segments[0]
+                .rows()
+                .map(|(_, c)| c.count)
+                .sum::<u64>();
         assert_eq!(total, 11, "no records lost");
         assert_eq!(s.digest(), digest, "canonical digest survives edge seal");
         // A second sweep over the already-sealed layout is a no-op fold.
@@ -882,6 +1056,31 @@ mod tests {
         s.compact();
         assert_eq!(s.cells(), cells);
         assert_eq!(s.digest(), digest);
+    }
+
+    #[test]
+    fn seal_columnar_is_a_pure_layout_change() {
+        let events = small_events(300);
+        let dir = DeviceDirectory::default();
+        let mut s = build_sharded(&StoreConfig::default(), &dir, &events, 1);
+        let row = s.clone();
+        s.seal_columnar();
+        assert_eq!(s.cells(), row.cells(), "sealing never folds");
+        assert_eq!(s.sealed_cells(), s.cells(), "every cell went columnar");
+        assert!(s.partitions.iter().all(|p| p.cells.is_empty()));
+        assert_eq!(s.digest(), row.digest());
+        // Sealing again is a no-op.
+        let mut again = s.clone();
+        again.seal_columnar();
+        assert_eq!(again, s);
+        // Merging a sealed store with a row store is commutative and
+        // content-equivalent to the all-row merge.
+        let mut ab = s.clone();
+        ab.merge(row.clone());
+        let mut ba = row.clone();
+        ba.merge(s.clone());
+        assert_eq!(ab.digest(), ba.digest());
+        assert_eq!(ab.partitions[0].segments, ba.partitions[0].segments);
     }
 
     /// The same edge case through the auto-compaction path: sweeps fired

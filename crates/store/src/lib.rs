@@ -6,7 +6,7 @@
 //! model × region × fail-cause class over time, Tables 1–2, §3–§5)
 //! without a batch pass per question.
 //!
-//! Three layers:
+//! Five layers:
 //!
 //! * [`cube`] — partitioned storage: records land in cells keyed by
 //!   (time bucket, kind, ISP, RAT, model, region, cause class, cause);
@@ -17,13 +17,25 @@
 //!   changing query answers, and [`Store::digest`] hashes a canonical
 //!   rolled-up view so it is invariant across threads, partition counts,
 //!   and compaction on/off.
+//! * [`columnar`] — the sealed-segment layout: sorted key runs stored as
+//!   per-column arrays with zone maps, k-way merge compaction, and a
+//!   CRC-framed `SC` block codec the v2 store image embeds. Sealed data
+//!   scans branch-light (tight per-column filter loops, prune by zone,
+//!   materialise only matches) while staying byte-identical to the row
+//!   engine — proven by the differential suite.
 //! * [`query`] — the typed embedded query engine:
 //!   [`Query`] { filters, group-by, window, metric, top-k } →
 //!   [`ResultSet`], with validation that keeps every legal query
-//!   compaction-transparent.
+//!   compaction-transparent. [`Store::query`] scans segments columnar;
+//!   [`Store::query_row`] is the row reference engine the differential
+//!   harness compares against.
 //! * [`persist`] — CRC-framed save/restore of the full store state,
 //!   mirroring the ingest checkpoint format discipline (total restore,
-//!   typed errors, no unbounded allocations on hostile input).
+//!   typed errors, no unbounded allocations on hostile input). Images are
+//!   version-gated: v1 (row-only) stays byte-stable; stores holding
+//!   sealed segments save as v2 with embedded `SC` blocks.
+//! * [`workload`] — the canonical 11-query benchmark workload shared by
+//!   the bench bins, the differential suite, and CI smoke checks.
 //!
 //! Records arrive either from the simulation drivers (via the workload
 //! `EventSink`) or from the ingest collector (via its `AcceptedSink`) —
@@ -32,10 +44,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod columnar;
 pub mod cube;
 pub mod persist;
 pub mod query;
+pub mod workload;
 
+pub use columnar::{ColumnSegment, Zones, SEGMENT_MAGIC, SEGMENT_VERSION};
 pub use cube::{
     build_sharded, Cell, CellKey, DeviceDim, DeviceDirectory, DeviceRec, Region, Store,
     StoreConfig, StoreSink, NO_CAUSE_CLASS, NO_ISP,

@@ -8,14 +8,22 @@
 //! reproduces the saved store exactly (`==`, same digest, same query
 //! answers) — asserted by the round-trip and property tests.
 
+use crate::columnar::ColumnSegment;
 use crate::cube::{Cell, CellKey, DeviceRec, Store, StoreConfig};
 use cellrel_ingest::codec::{crc32, read_varint, write_varint};
 use cellrel_sim::SparseSketch;
 
 /// Leading magic of a store image.
 pub const STORE_MAGIC: [u8; 2] = *b"CS";
-/// Current format version.
+/// Row-only format version. Stores with no sealed segments save exactly
+/// as they always have — byte-identical v1 images — so old readers and
+/// golden snapshots of row-only stores are untouched.
 pub const STORE_VERSION: u8 = 1;
+/// Columnar format version: identical to v1 except each partition writes
+/// a segment count followed by CRC-framed `SC` blocks (see
+/// [`crate::columnar`]) between its cells and its device table. Emitted
+/// only when at least one partition holds a sealed segment.
+pub const STORE_VERSION_COLUMNAR: u8 = 2;
 
 /// Why a store image failed to restore.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -106,9 +114,14 @@ fn read_sketch(bytes: &[u8], pos: &mut usize) -> Result<SparseSketch, PersistErr
 
 /// Serialize the full store state.
 pub fn save_store(store: &Store) -> Vec<u8> {
+    let columnar = store.partitions.iter().any(|p| !p.segments.is_empty());
     let mut out = Vec::new();
     out.extend_from_slice(&STORE_MAGIC);
-    out.push(STORE_VERSION);
+    out.push(if columnar {
+        STORE_VERSION_COLUMNAR
+    } else {
+        STORE_VERSION
+    });
     let cfg = store.config();
     write_varint(&mut out, cfg.bucket_ms);
     write_varint(&mut out, u64::from(cfg.rollup_buckets));
@@ -133,6 +146,12 @@ pub fn save_store(store: &Store) -> Vec<u8> {
             write_varint(&mut out, c.duration_ms_total);
             write_varint(&mut out, c.under_30s);
             write_sketch(&mut out, &c.sketch);
+        }
+        if columnar {
+            write_varint(&mut out, p.segments.len() as u64);
+            for seg in &p.segments {
+                seg.encode(&mut out);
+            }
         }
         write_varint(&mut out, p.devices.len() as u64);
         let mut prev: Option<u32> = None;
@@ -168,8 +187,9 @@ pub fn restore_store(bytes: &[u8]) -> Result<Store, PersistError> {
     if body[..2] != STORE_MAGIC {
         return Err(PersistError::BadMagic);
     }
-    if body[2] != STORE_VERSION {
-        return Err(PersistError::BadVersion(body[2]));
+    let version = body[2];
+    if version != STORE_VERSION && version != STORE_VERSION_COLUMNAR {
+        return Err(PersistError::BadVersion(version));
     }
     let mut pos = 3usize;
     let bucket_ms = rv(body, &mut pos)?;
@@ -234,6 +254,16 @@ pub fn restore_store(bytes: &[u8]) -> Result<Store, PersistError> {
                     sketch,
                 },
             );
+        }
+        if version == STORE_VERSION_COLUMNAR {
+            let nsegs = rv(body, &mut pos)? as usize;
+            // A segment costs at least a header + CRC; cap the claim.
+            if nsegs > body.len().saturating_sub(pos) / 8 + 1 {
+                return Err(PersistError::Malformed("segment count exceeds input"));
+            }
+            for _ in 0..nsegs {
+                p.segments.push(ColumnSegment::decode(body, &mut pos)?);
+            }
         }
         let ndevices = rv(body, &mut pos)? as usize;
         if ndevices > body.len().saturating_sub(pos) {
@@ -311,7 +341,44 @@ mod tests {
     #[test]
     fn round_trip_is_exact() {
         let store = fixture();
+        assert!(
+            store.sealed_segments() > 0,
+            "fixture auto-compacts, so it must exercise the v2 path"
+        );
         let bytes = save_store(&store);
+        assert_eq!(bytes[2], STORE_VERSION_COLUMNAR);
+        let restored = restore_store(&bytes).unwrap();
+        assert_eq!(restored, store);
+        assert_eq!(restored.digest(), store.digest());
+    }
+
+    #[test]
+    fn row_only_stores_still_save_as_v1() {
+        // No compaction → no segments → the image must be plain v1, so
+        // pre-columnar readers and golden row-store snapshots never see
+        // the new framing.
+        let store = build_sharded(
+            &StoreConfig {
+                partitions: 5,
+                auto_compact_every: 0,
+                ..StoreConfig::default()
+            },
+            &DeviceDirectory::default(),
+            &[],
+            1,
+        );
+        let bytes = save_store(&store);
+        assert_eq!(bytes[2], STORE_VERSION);
+        assert_eq!(restore_store(&bytes).unwrap(), store);
+    }
+
+    #[test]
+    fn sealed_store_round_trips_exactly() {
+        let mut store = fixture();
+        store.seal_columnar();
+        assert_eq!(store.sealed_cells(), store.cells());
+        let bytes = save_store(&store);
+        assert_eq!(bytes[2], STORE_VERSION_COLUMNAR);
         let restored = restore_store(&bytes).unwrap();
         assert_eq!(restored, store);
         assert_eq!(restored.digest(), store.digest());

@@ -21,7 +21,9 @@
 //! (value descending, key ascending) — no iteration-order or tie
 //! nondeterminism anywhere.
 
+use crate::columnar::{ColumnSegment, Zones};
 use crate::cube::{Cell, CellKey, Region, Store, NO_CAUSE_CLASS, NO_ISP};
+use cellrel_ingest::codec::{unzigzag, zigzag};
 use cellrel_sim::Telemetry;
 use cellrel_types::{DataFailCause, FailureKind, FailureLayer, Isp, PhoneModelId, Rat};
 use std::collections::BTreeMap;
@@ -514,10 +516,35 @@ fn component_label(d: Dim, component: u64, window_ms: u64) -> String {
     }
 }
 
+/// Which physical scan implementation serves sealed segments. The hot row
+/// tier always scans cell-by-cell; the engines differ only on segments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Engine {
+    /// Zone-pruned, filter-before-materialise per-column loops.
+    Columnar,
+    /// Reference path: materialise every row and reuse the hot-tier code.
+    Row,
+}
+
 impl Store {
     /// Evaluate a query. See the module docs for semantics and guarantees.
     pub fn query(&self, q: &Query) -> Result<ResultSet, QueryError> {
         self.query_with(q, &Telemetry::disabled())
+    }
+
+    /// Evaluate a query through the **row reference engine**: sealed
+    /// segments are walked cell by cell through the same per-cell
+    /// filter/merge code the hot tier uses — no zone pruning, no
+    /// per-column loops. Exists so the differential suite (and the CI
+    /// smoke checks) can prove the columnar scan path of [`Store::query`]
+    /// returns byte-identical `ResultSet`s; it is not the serving path.
+    pub fn query_row(&self, q: &Query) -> Result<ResultSet, QueryError> {
+        let plan = validate(self, q)?;
+        Ok(if q.metric.is_device_metric() {
+            self.eval_devices(q)
+        } else {
+            self.eval_cells(q, &plan, Engine::Row)
+        })
     }
 
     /// [`Store::query`] with instrumentation: bumps `store.queries`,
@@ -528,7 +555,7 @@ impl Store {
         let rs = if q.metric.is_device_metric() {
             self.eval_devices(q)
         } else {
-            self.eval_cells(q, &plan)
+            self.eval_cells(q, &plan, Engine::Columnar)
         };
         tele.inc("store.queries");
         tele.add("store.cells_scanned", rs.cells_scanned);
@@ -537,7 +564,7 @@ impl Store {
         Ok(rs)
     }
 
-    fn eval_cells(&self, q: &Query, plan: &Plan) -> ResultSet {
+    fn eval_cells(&self, q: &Query, plan: &Plan, engine: Engine) -> ResultSet {
         let bucket_ms = self.config().bucket_ms;
         let mut scanned = 0u64;
         let mut matched = 0u64;
@@ -580,6 +607,47 @@ impl Store {
                     Some(acc) => acc.merge_ref(cell),
                     None => {
                         groups.insert(gk, cell.clone());
+                    }
+                }
+            }
+            for seg in &p.segments {
+                // Same pruning semantics as the row tier: an unbounded
+                // plan scans every row; a bounded one scans the bucket
+                // range. Scan accounting counts the range either way, so
+                // both engines report identical `cells_scanned`.
+                let (i0, i1) = if plan.bucket_lo == 0 && plan.bucket_hi == u32::MAX {
+                    (0, seg.len())
+                } else {
+                    seg.bucket_range(plan.bucket_lo, plan.bucket_hi)
+                };
+                scanned += (i1 - i0) as u64;
+                if i0 == i1 {
+                    continue;
+                }
+                match engine {
+                    Engine::Columnar => {
+                        matched +=
+                            scan_segment_columnar(seg, q, plan, bucket_ms, i0, i1, &mut groups);
+                    }
+                    Engine::Row => {
+                        for i in i0..i1 {
+                            let key = seg.key_at(i);
+                            if !q.filters.iter().all(|f| filter_hits(&key, f, bucket_ms)) {
+                                continue;
+                            }
+                            matched += 1;
+                            let cell = seg.cell_at(i);
+                            let mut gk: GroupKey = [0; MAX_DIMS];
+                            for (slot, d) in gk.iter_mut().zip(&q.group_by) {
+                                *slot = group_component(&key, *d, bucket_ms, plan.window_ms);
+                            }
+                            match groups.get_mut(&gk) {
+                                Some(acc) => acc.merge_ref(&cell),
+                                None => {
+                                    groups.insert(gk, cell);
+                                }
+                            }
+                        }
                     }
                 }
             }
@@ -669,6 +737,156 @@ impl Store {
             cells_scanned: scanned,
             cells_matched: matched,
         }
+    }
+}
+
+/// True when a cell matching `f` **could** exist in a segment with zone
+/// maps `z` — the pruning predicate. Soundness (a pruned segment provably
+/// contains no matching row) is what keeps the columnar engine's answers
+/// byte-identical to the row engine, and is pinned by the zone-edge
+/// regression tests below and the differential suite.
+fn zone_may_match(z: &Zones, f: &Filter) -> bool {
+    fn within(r: (u8, u8), want: usize) -> bool {
+        usize::from(r.0) <= want && want <= usize::from(r.1)
+    }
+    match f {
+        Filter::Kind(k) => within(z.kind, k.index()),
+        Filter::Isp(i) => within(z.isp, i.index()),
+        Filter::Rat(r) => within(z.rat, r.index()),
+        Filter::Model(m) => within(z.model, usize::from(m.0)),
+        Filter::Region(r) => within(z.region, r.index()),
+        Filter::CauseClass(l) => within(z.cause_class, l.index()),
+        Filter::Cause(c) => z.may_match_value(1 + zigzag(i64::from(c.code()))),
+        Filter::HasCause => z.cause.1 != 0,
+        // Time is handled by the bucket-range scan bounds, and pruned
+        // ranges must still count as scanned — never prune on it here.
+        Filter::TimeRange { .. } => true,
+    }
+}
+
+/// Scan rows `[i0, i1)` of one sealed segment with per-column loops:
+/// prune by zone map, refine a selection one filter (= one column) at a
+/// time, then materialise only the surviving rows into the group
+/// accumulators — skipping sketch-pool merging entirely for metrics that
+/// never read a sketch. Returns the matched-row count.
+fn scan_segment_columnar(
+    seg: &ColumnSegment,
+    q: &Query,
+    plan: &Plan,
+    bucket_ms: u64,
+    i0: usize,
+    i1: usize,
+    groups: &mut BTreeMap<GroupKey, Cell>,
+) -> u64 {
+    let z = seg.zones();
+    if !q.filters.iter().all(|f| zone_may_match(z, f)) {
+        return 0;
+    }
+    // Selection refinement: `None` = all rows in range still match. Each
+    // filter reads exactly one column. TimeRange filters are already
+    // satisfied by `[i0, i1)` (validation aligns bounds to whole buckets),
+    // matching the row engine's per-cell re-check by construction.
+    let mut sel: Option<Vec<u32>> = None;
+    for f in &q.filters {
+        match f {
+            Filter::Kind(k) => {
+                let w = k.index() as u8;
+                refine(&mut sel, i0, i1, &seg.kinds, |&v| v == w);
+            }
+            Filter::Isp(i) => {
+                let w = i.index() as u8;
+                refine(&mut sel, i0, i1, &seg.isps, |&v| v == w);
+            }
+            Filter::Rat(r) => {
+                let w = r.index() as u8;
+                refine(&mut sel, i0, i1, &seg.rats, |&v| v == w);
+            }
+            Filter::Model(m) => {
+                let w = m.0;
+                refine(&mut sel, i0, i1, &seg.models, |&v| v == w);
+            }
+            Filter::Region(r) => {
+                let w = r.index() as u8;
+                refine(&mut sel, i0, i1, &seg.regions, |&v| v == w);
+            }
+            Filter::CauseClass(l) => {
+                let w = l.index() as u8;
+                refine(&mut sel, i0, i1, &seg.cause_classes, |&v| v == w);
+            }
+            Filter::Cause(c) => {
+                let code = c.code();
+                refine(&mut sel, i0, i1, &seg.causes, |&v| {
+                    v != 0 && unzigzag(v - 1) as i32 == code
+                });
+            }
+            Filter::HasCause => refine(&mut sel, i0, i1, &seg.causes, |&v| v != 0),
+            Filter::TimeRange { .. } => {}
+        }
+        if sel.as_ref().is_some_and(Vec::is_empty) {
+            return 0;
+        }
+    }
+    let needs_sketch = matches!(q.metric, Metric::MaxDurationMs | Metric::QuantileMs(_));
+    let mut fold = |i: usize| {
+        let mut gk: GroupKey = [0; MAX_DIMS];
+        for (slot, d) in gk.iter_mut().zip(&q.group_by) {
+            *slot = match d {
+                Dim::Time => (u64::from(seg.buckets[i]) * bucket_ms) / plan.window_ms,
+                Dim::Kind => u64::from(seg.kinds[i]),
+                Dim::Isp => u64::from(seg.isps[i]),
+                Dim::Rat => u64::from(seg.rats[i]),
+                Dim::Model => u64::from(seg.models[i]),
+                Dim::Region => u64::from(seg.regions[i]),
+                Dim::CauseClass => u64::from(seg.cause_classes[i]),
+                Dim::Cause => seg.causes[i],
+            };
+        }
+        let acc = groups.entry(gk).or_default();
+        acc.count += seg.counts[i];
+        acc.duration_ms_total += seg.duration_totals[i];
+        acc.under_30s += seg.under_30s[i];
+        if needs_sketch {
+            let (min, max, run) = seg.sketch_run(i);
+            let count = run.iter().map(|&(_, c)| c).sum();
+            acc.sketch.merge_run(count, min, max, run);
+        }
+    };
+    match sel {
+        None => {
+            for i in i0..i1 {
+                fold(i);
+            }
+            (i1 - i0) as u64
+        }
+        Some(rows) => {
+            for &i in &rows {
+                fold(i as usize);
+            }
+            rows.len() as u64
+        }
+    }
+}
+
+/// Refine a row selection against one column: on the first filter, scan
+/// the whole `[i0, i1)` slice; afterwards, re-test only the survivors.
+fn refine<T>(
+    sel: &mut Option<Vec<u32>>,
+    i0: usize,
+    i1: usize,
+    col: &[T],
+    pred: impl Fn(&T) -> bool,
+) {
+    match sel {
+        None => {
+            let mut v = Vec::new();
+            for (off, x) in col[i0..i1].iter().enumerate() {
+                if pred(x) {
+                    v.push((i0 + off) as u32);
+                }
+            }
+            *sel = Some(v);
+        }
+        Some(v) => v.retain(|&i| pred(&col[i as usize])),
     }
 }
 
@@ -1011,6 +1229,99 @@ mod tests {
             ..Query::count_by(vec![])
         };
         assert_eq!(s.query(&bad_q).unwrap_err(), QueryError::BadQuantile(1.5));
+    }
+
+    #[test]
+    fn columnar_engine_matches_row_reference_on_the_workload() {
+        let mut s = fixture();
+        s.compact();
+        assert!(s.sealed_segments() > 0, "fixture must exercise segments");
+        for (name, q) in crate::workload::canonical(7 * 86_400_000) {
+            assert_eq!(s.query(&q).unwrap(), s.query_row(&q).unwrap(), "{name}");
+        }
+        // Sealed-without-folding layout too (the stream pipeline's shape).
+        let mut sealed = fixture();
+        sealed.seal_columnar();
+        for (name, q) in crate::workload::canonical(7 * 86_400_000) {
+            assert_eq!(
+                sealed.query(&q).unwrap(),
+                sealed.query_row(&q).unwrap(),
+                "sealed {name}"
+            );
+        }
+    }
+
+    /// Regression for the cube's rollup-edge case in columnar form: when
+    /// the seal lands exactly on the newest bucket, the sealed run ends at
+    /// the last rollup start while the edge bucket stays hot. Zone-map and
+    /// bucket-range pruning at those exact edges must be *sound* — a
+    /// pruned segment provably contains no row the filter could match —
+    /// which the row reference engine verifies by scanning everything.
+    #[test]
+    fn zone_pruning_at_exact_rollup_edges_is_sound() {
+        let cfg = StoreConfig {
+            bucket_ms: 1_000,
+            rollup_buckets: 4,
+            partitions: 1,
+            auto_compact_every: 0,
+        };
+        let dir = DeviceDirectory::default();
+        let mut s = crate::cube::Store::new(&cfg);
+        // Buckets 0..=8, all Data_Stall; the edge bucket (8, == seal) also
+        // holds two Data_Setup_Error records carrying a cause.
+        for t in 0..9u64 {
+            let e = ev(0, t, 1, FailureKind::DataStall, Rat::G4);
+            s.record(&e, dir.dim_of(e.device));
+        }
+        for _ in 0..2 {
+            let e = ev(0, 8, 2, FailureKind::DataSetupError, Rat::G4);
+            s.record(&e, dir.dim_of(e.device));
+        }
+        s.compact();
+        assert_eq!(s.sealed_cells(), 2, "sealed run holds rollup starts 0,4");
+        let count = |filters: Vec<Filter>| Query {
+            filters,
+            group_by: vec![],
+            window_ms: 0,
+            metric: Metric::Count,
+            top_k: 0,
+        };
+        let cases = [
+            // Range covering exactly the sealed run.
+            count(vec![Filter::TimeRange {
+                start_ms: 0,
+                end_ms: 8_000,
+            }]),
+            // Range starting at the seal edge: every sealed row is
+            // range-pruned, every hot row is in range.
+            count(vec![Filter::TimeRange {
+                start_ms: 8_000,
+                end_ms: 12_000,
+            }]),
+            // Interior edge: only the second rollup start survives.
+            count(vec![Filter::TimeRange {
+                start_ms: 4_000,
+                end_ms: 8_000,
+            }]),
+            // Kind only the hot tier holds: the zone map prunes the run.
+            count(vec![Filter::Kind(FailureKind::DataSetupError)]),
+            // Cause filters at the zone edges.
+            count(vec![Filter::HasCause]),
+            count(vec![Filter::Cause(DataFailCause::SignalLost)]),
+        ];
+        for (i, q) in cases.iter().enumerate() {
+            let columnar = s.query(q).unwrap();
+            let row = s.query_row(q).unwrap();
+            assert_eq!(columnar, row, "case {i}");
+        }
+        // The zone-pruned kind query still reports the full scan while
+        // matching only the hot setup-error cell.
+        let rs = s
+            .query(&count(vec![Filter::Kind(FailureKind::DataSetupError)]))
+            .unwrap();
+        assert_eq!(rs.cells_scanned, s.cells());
+        assert_eq!(rs.cells_matched, 1);
+        assert_eq!(rs.rows[0].count, 2);
     }
 
     #[test]

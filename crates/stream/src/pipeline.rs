@@ -249,9 +249,15 @@ impl<'d> StreamPipeline<'d> {
         kind: SegmentKind,
         index: u64,
         watermark_ms: u64,
-        delta: Store,
+        mut delta: Store,
         segs: &mut dyn SegmentStore,
     ) -> Result<SegmentEntry, StreamError> {
+        // Sealed windows are immutable from here on: flip the delta to the
+        // columnar layout so both the persisted segment image and the hot
+        // tier scan columnar. Pure layout change — digest, inserted count,
+        // and every query answer are invariant (the store's differential
+        // suite proves it), so the header cross-checks below still hold.
+        delta.seal_columnar();
         let mut entry = SegmentEntry {
             kind,
             index,

@@ -1,0 +1,115 @@
+//! Golden columnar-segment snapshot: the exact `SC` blocks (magic,
+//! version, column encodings, delta-coded sketch pool, zone maps, CRC
+//! trailer) a compacted seed-2021 store produces, pinned byte-for-byte as
+//! hex dumps in partition order.
+//!
+//! The `SC` framing is on-disk contract — v2 store images and stream `SG`
+//! segments embed these blocks verbatim — so any accidental change to the
+//! column order, varint coding, zone-map layout, or CRC seal surfaces
+//! here as a readable diff. When a change is *intentional*, bump
+//! `SEGMENT_VERSION`, regenerate and review:
+//!
+//! ```sh
+//! CELLREL_BLESS=1 cargo test -q --test golden_columnar
+//! git diff tests/golden/columnar_segment_seed2021.txt
+//! ```
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use cellrel::store::{build_sharded, DeviceDirectory, StoreConfig, SEGMENT_VERSION};
+use cellrel::workload::{run_macro_study, PopulationConfig, StudyConfig};
+
+fn golden_path() -> PathBuf {
+    // CARGO_MANIFEST_DIR is crates/core (the facade owns the root tests/).
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../tests/golden/columnar_segment_seed2021.txt")
+}
+
+fn hex_dump(out: &mut String, bytes: &[u8]) {
+    let _ = writeln!(out, "len: {}", bytes.len());
+    for chunk in bytes.chunks(32) {
+        for b in chunk {
+            let _ = write!(out, "{b:02x}");
+        }
+        out.push('\n');
+    }
+}
+
+fn render_segments() -> String {
+    let data = run_macro_study(&StudyConfig {
+        seed: 2021,
+        population: PopulationConfig {
+            devices: 200,
+            ..Default::default()
+        },
+        days: 14,
+        bs_count: 200,
+    });
+    let dir = DeviceDirectory::from_population(&data.population);
+    let cfg = StoreConfig {
+        partitions: 4,
+        ..StoreConfig::default()
+    };
+    let mut store = build_sharded(&cfg, &dir, &data.events, 1);
+    store.compact();
+    assert!(store.sealed_segments() > 0, "fixture must seal segments");
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "# columnar SC segment blocks (seed 2021, format v{SEGMENT_VERSION})"
+    );
+    let _ = writeln!(
+        out,
+        "store digest: {:016x}  sealed cells: {}",
+        store.digest(),
+        store.sealed_cells()
+    );
+    for (i, block) in store.segment_blocks().iter().enumerate() {
+        let _ = writeln!(out, "\n## segment {i}");
+        hex_dump(&mut out, block);
+    }
+    out
+}
+
+#[test]
+fn columnar_segments_match_golden_snapshot() {
+    let actual = render_segments();
+    let path = golden_path();
+
+    if std::env::var_os("CELLREL_BLESS").is_some() {
+        std::fs::write(&path, &actual).expect("write golden snapshot");
+        eprintln!("blessed {}", path.display());
+        return;
+    }
+
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden snapshot {} ({e}); generate it with \
+             CELLREL_BLESS=1 cargo test -q --test golden_columnar",
+            path.display()
+        )
+    });
+    if actual != expected {
+        let mismatch = actual
+            .lines()
+            .zip(expected.lines())
+            .enumerate()
+            .find(|(_, (a, e))| a != e);
+        match mismatch {
+            Some((i, (a, e))) => panic!(
+                "golden columnar segment mismatch at line {}:\n  expected: {e}\n  actual:   {a}\n\
+                 the SC framing is on-disk contract — if the change is intentional, bump \
+                 SEGMENT_VERSION and regenerate: CELLREL_BLESS=1 cargo test -q --test golden_columnar",
+                i + 1
+            ),
+            None => panic!(
+                "golden columnar segment length mismatch ({} vs {} lines); \
+                 if intentional: CELLREL_BLESS=1 cargo test -q --test golden_columnar",
+                actual.lines().count(),
+                expected.lines().count()
+            ),
+        }
+    }
+}
