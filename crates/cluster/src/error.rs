@@ -1,0 +1,72 @@
+//! The one error type every fallible cluster path returns.
+
+use crate::proto::RepError;
+use cellrel_ingest::DecodeError;
+use cellrel_stream::StreamError;
+
+/// Why a cluster operation failed.
+///
+/// Wire-facing paths (frame decode, segment apply) are **total** — hostile
+/// bytes surface as [`ClusterError::Wire`] or a replication rejection,
+/// never a panic. [`ClusterError::Query`] carries the shard-side rejection
+/// detail, which is exactly the single-node `QueryError` display string so
+/// federated and local error behaviour agree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClusterError {
+    /// A structural constraint was violated (shard count, directory views).
+    Config(&'static str),
+    /// An ingest batch could not be routed (its header failed to decode).
+    Batch(DecodeError),
+    /// A shard pipeline operation failed.
+    Stream(StreamError),
+    /// A replication or federation frame failed to decode.
+    Wire(RepError),
+    /// A shard rejected the query; the detail is the store's own
+    /// `QueryError` display string.
+    Query(String),
+    /// A replica rejected or mangled a replication frame.
+    Replication {
+        /// Which shard's replica set raised the fault.
+        shard: usize,
+        /// Human-readable rejection detail.
+        detail: String,
+    },
+    /// A leader promotion could not complete.
+    Failover(String),
+}
+
+impl std::fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClusterError::Config(why) => write!(f, "bad cluster config: {why}"),
+            ClusterError::Batch(e) => write!(f, "unroutable batch: {e}"),
+            ClusterError::Stream(e) => write!(f, "shard pipeline: {e}"),
+            ClusterError::Wire(e) => write!(f, "replication frame: {e}"),
+            ClusterError::Query(detail) => write!(f, "query rejected: {detail}"),
+            ClusterError::Replication { shard, detail } => {
+                write!(f, "replication fault on shard {shard}: {detail}")
+            }
+            ClusterError::Failover(detail) => write!(f, "failover: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+impl From<DecodeError> for ClusterError {
+    fn from(e: DecodeError) -> Self {
+        ClusterError::Batch(e)
+    }
+}
+
+impl From<StreamError> for ClusterError {
+    fn from(e: StreamError) -> Self {
+        ClusterError::Stream(e)
+    }
+}
+
+impl From<RepError> for ClusterError {
+    fn from(e: RepError) -> Self {
+        ClusterError::Wire(e)
+    }
+}

@@ -1,0 +1,284 @@
+//! Leader-kill failover campaign: chaos for the replicated tier.
+//!
+//! The claim under test: killing any shard leader at any batch boundary
+//! and promoting its follower is **answer-transparent** — after the
+//! promoted leader replays the shard's batches from its restored cursor
+//! and the run completes, the merged store digest and the federated
+//! Tables 1/2 are byte-identical to an uninterrupted cluster's, and the
+//! backfilled replica (which caught up over the wire from the promoted
+//! leader) converges to the leader's sealed history. Kill points and
+//! victim shards are sampled from a seeded RNG, so a reported failure
+//! replays exactly.
+
+use crate::cluster::{Cluster, ClusterConfig};
+use crate::error::ClusterError;
+use crate::partition::shard_of_batch;
+use cellrel_sim::{Digest64, SimRng};
+use cellrel_store::DeviceDirectory;
+use cellrel_stream::StreamConfig;
+
+/// Table 2's top-k, fixed across the campaign so renders are comparable.
+const TABLE2_K: usize = 8;
+
+/// Campaign shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FailoverConfig {
+    /// Leader kills to perform (each on a fresh cluster run).
+    pub kills: usize,
+    /// Seed for kill-point and victim-shard sampling.
+    pub seed: u64,
+}
+
+impl Default for FailoverConfig {
+    fn default() -> Self {
+        FailoverConfig {
+            kills: 8,
+            seed: 2021,
+        }
+    }
+}
+
+/// One kill, one verdict.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KillOutcome {
+    /// Batch index the kill landed after.
+    pub kill_at: u64,
+    /// The shard whose leader was killed.
+    pub shard: usize,
+    /// Shard-local cursor the promoted pipeline restarted from.
+    pub restored_cursor: u64,
+    /// Whether the promoted pipeline came back holding unsealed windows.
+    pub mid_window: bool,
+    /// Did the interrupted run converge to the baseline byte-for-byte?
+    pub ok: bool,
+    /// First divergence found, empty when `ok`.
+    pub detail: String,
+}
+
+/// The whole campaign, plus a content digest CI can pin.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FailoverReport {
+    /// Per-kill outcomes, in execution order.
+    pub outcomes: Vec<KillOutcome>,
+    /// The uninterrupted cluster's merged store digest.
+    pub baseline_digest: u64,
+    /// Kills that landed while the victim held unsealed windows.
+    pub mid_window_kills: u64,
+    /// Outcomes with `ok == false`.
+    pub failures: u64,
+    /// FNV-1a digest over the outcomes — one number for CI to compare.
+    pub digest: u64,
+}
+
+/// What an uninterrupted run converges to.
+struct Baseline {
+    digest: u64,
+    t1: String,
+    t2: String,
+}
+
+fn run_to_end(
+    scfg: &StreamConfig,
+    ccfg: &ClusterConfig,
+    dirs: &[DeviceDirectory],
+    batches: &[Vec<u8>],
+) -> Result<Baseline, ClusterError> {
+    let mut cluster = Cluster::new(scfg, ccfg, dirs)?;
+    for b in batches {
+        cluster.offer(b)?;
+    }
+    cluster.flush()?;
+    cluster.publish();
+    let (t1, t2) = cluster.router().tables(TABLE2_K)?;
+    Ok(Baseline {
+        digest: cluster.digest(),
+        t1: t1.render(),
+        t2: t2.render(),
+    })
+}
+
+/// Run the campaign. Requires at least two batches (a kill needs a
+/// boundary strictly inside the stream) and a replicated cluster config.
+pub fn run_failover(
+    scfg: &StreamConfig,
+    ccfg: &ClusterConfig,
+    fcfg: &FailoverConfig,
+    dirs: &[DeviceDirectory],
+    batches: &[Vec<u8>],
+) -> Result<FailoverReport, ClusterError> {
+    if batches.len() < 2 {
+        return Err(ClusterError::Config(
+            "failover campaign needs at least two batches",
+        ));
+    }
+    if ccfg.replicas == 0 {
+        return Err(ClusterError::Config(
+            "failover campaign needs at least one replica per shard",
+        ));
+    }
+    let baseline = run_to_end(scfg, ccfg, dirs, batches)?;
+    // Shard routing is a pure function of the batch bytes; precompute it
+    // once so replay subsequences are cheap to carve out.
+    let routes = batches
+        .iter()
+        .map(|b| shard_of_batch(b, ccfg.shards))
+        .collect::<Result<Vec<_>, _>>()?;
+    let mut rng = SimRng::new(fcfg.seed);
+    let mut outcomes = Vec::with_capacity(fcfg.kills);
+    for _ in 0..fcfg.kills {
+        let kill_at = rng.range_u64(1, batches.len() as u64);
+        let shard = rng.range_u64(0, ccfg.shards as u64) as usize;
+        outcomes.push(one_kill(
+            scfg, ccfg, dirs, batches, &routes, &baseline, kill_at, shard,
+        )?);
+    }
+    let failures = outcomes.iter().filter(|o| !o.ok).count() as u64;
+    let mid_window_kills = outcomes.iter().filter(|o| o.mid_window).count() as u64;
+    let mut d = Digest64::new();
+    d.write_u64(baseline.digest);
+    for o in &outcomes {
+        d.write_u64(o.kill_at);
+        d.write_u64(o.shard as u64);
+        d.write_u64(o.restored_cursor);
+        d.write_u64(u64::from(o.mid_window));
+        d.write_u64(u64::from(o.ok));
+    }
+    Ok(FailoverReport {
+        outcomes,
+        baseline_digest: baseline.digest,
+        mid_window_kills,
+        failures,
+        digest: d.finish(),
+    })
+}
+
+#[allow(clippy::too_many_arguments)]
+fn one_kill(
+    scfg: &StreamConfig,
+    ccfg: &ClusterConfig,
+    dirs: &[DeviceDirectory],
+    batches: &[Vec<u8>],
+    routes: &[usize],
+    baseline: &Baseline,
+    kill_at: u64,
+    shard: usize,
+) -> Result<KillOutcome, ClusterError> {
+    let kill = kill_at as usize;
+    let mut cluster = Cluster::new(scfg, ccfg, dirs)?;
+    for b in &batches[..kill] {
+        cluster.offer(b)?;
+    }
+    // Kill: the leader (and all its volatile state) is dropped on the
+    // floor; the shard comes back from its follower's durable state.
+    let restored_cursor = cluster.promote(shard)?;
+    let mid_window = cluster.leader(shard).pipeline().pending_windows() > 0;
+    // Replay the shard's batch subsequence lost with the leader, then
+    // finish the stream as if nothing happened.
+    let shard_batches: Vec<usize> = (0..kill).filter(|&i| routes[i] == shard).collect();
+    for &i in shard_batches.iter().skip(restored_cursor as usize) {
+        cluster.offer(&batches[i])?;
+    }
+    for b in &batches[kill..] {
+        cluster.offer(b)?;
+    }
+    cluster.flush()?;
+    cluster.publish();
+
+    let mut ok = true;
+    let mut detail = String::new();
+    let digest = cluster.digest();
+    if digest != baseline.digest {
+        ok = false;
+        detail = format!(
+            "merged digest {digest:016x} != baseline {:016x}",
+            baseline.digest
+        );
+    } else {
+        let (t1, t2) = cluster.router().tables(TABLE2_K)?;
+        let follower_digest = cluster.followers_of(shard)[0].sealed_store().digest();
+        let leader_digest = cluster.leader(shard).digest();
+        if t1.render() != baseline.t1 {
+            ok = false;
+            detail = "federated table 1 diverged from baseline".into();
+        } else if t2.render() != baseline.t2 {
+            ok = false;
+            detail = "federated table 2 diverged from baseline".into();
+        } else if follower_digest != leader_digest {
+            // The backfilled replica caught up over the wire; after the
+            // final flush it must hold the promoted leader's exact view.
+            ok = false;
+            detail = format!(
+                "backfilled replica {follower_digest:016x} != promoted leader {leader_digest:016x}"
+            );
+        }
+    }
+    Ok(KillOutcome {
+        kill_at,
+        shard,
+        restored_cursor,
+        mid_window,
+        ok,
+        detail,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::shard_directories;
+    use cellrel_store::DeviceDirectory;
+    use cellrel_stream::batches_from_events;
+    use cellrel_workload::{run_macro_study, PopulationConfig, StudyConfig};
+
+    #[test]
+    fn a_small_campaign_converges_and_is_reproducible() {
+        let data = run_macro_study(&StudyConfig {
+            seed: 2021,
+            population: PopulationConfig {
+                devices: 150,
+                ..Default::default()
+            },
+            days: 3,
+            bs_count: 60,
+        });
+        let dir = DeviceDirectory::from_population(&data.population);
+        let batches = batches_from_events(&data.events, 32);
+        let scfg = StreamConfig {
+            window_ms: 86_400_000,
+            lateness_ms: 2 * 3_600_000,
+            hot_windows: 2,
+            late_flush: 256,
+            ..Default::default()
+        };
+        let ccfg = ClusterConfig {
+            shards: 2,
+            replicas: 1,
+            checkpoint_every: 3,
+        };
+        let fcfg = FailoverConfig {
+            kills: 3,
+            seed: 2021,
+        };
+        let dirs = shard_directories(&dir, ccfg.shards);
+        let report = run_failover(&scfg, &ccfg, &fcfg, &dirs, &batches).expect("campaign");
+        assert_eq!(report.failures, 0, "outcomes: {:#?}", report.outcomes);
+        assert_eq!(report.outcomes.len(), 3);
+        let again = run_failover(&scfg, &ccfg, &fcfg, &dirs, &batches).expect("campaign");
+        assert_eq!(report, again, "campaign must be deterministic");
+    }
+
+    #[test]
+    fn unreplicated_clusters_cannot_run_the_campaign() {
+        let err = run_failover(
+            &StreamConfig::default(),
+            &ClusterConfig {
+                replicas: 0,
+                ..ClusterConfig::default()
+            },
+            &FailoverConfig::default(),
+            &[],
+            &[Vec::new(), Vec::new()],
+        );
+        assert!(matches!(err, Err(ClusterError::Config(_))));
+    }
+}

@@ -23,6 +23,7 @@
 //! | [`store`] | `cellrel-store` | embedded analytics cube: mergeable partitions, query engine |
 //! | [`queryd`] | `cellrel-queryd` | query daemon: framed wire protocol, snapshot-isolated server, TCP + in-process transports |
 //! | [`stream`] | `cellrel-stream` | continuous windowed pipeline: watermark sealing, tiered segments, crash-transparent restart |
+//! | [`cluster`] | `cellrel-cluster` | sharded, replicated serving tier: device-hash partitioning, segment-shipping replication, scatter-gather federation |
 //! | [`timp`] | `cellrel-timp` | TIMP model + annealing optimizer |
 //! | [`workload`] | `cellrel-workload` | calibrated population, macro study, A/B drivers |
 //! | [`analysis`] | `cellrel-analysis` | per-table/figure estimators and renderers |
@@ -48,6 +49,7 @@
 pub mod report;
 
 pub use cellrel_analysis as analysis;
+pub use cellrel_cluster as cluster;
 pub use cellrel_ingest as ingest;
 pub use cellrel_modem as modem;
 pub use cellrel_monitor as monitor;
@@ -82,6 +84,7 @@ mod tests {
         let _ = crate::store::StoreConfig::default();
         let _ = crate::queryd::Request::Ping;
         let _ = crate::stream::StreamConfig::default();
+        let _ = crate::cluster::ClusterConfig::default();
         let _ = crate::timp::AnnealConfig::default();
         let _ = crate::workload::StudyConfig::small();
         let _ = crate::analysis::Table::new("t", &["a"]);

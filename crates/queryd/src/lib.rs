@@ -36,6 +36,8 @@ pub mod net;
 pub mod proto;
 pub mod server;
 
-pub use net::{serve, ClientError, InProcClient, QuerydServer, TcpClient};
+pub use net::{
+    serve, serve_with, ClientError, InProcClient, QuerydServer, ServerConfig, TcpClient,
+};
 pub use proto::{ProtoError, Request, Response, ServerStats, WireError};
-pub use server::{feed_events, QuerydCore, ServerMetrics, Snapshot, WallClock};
+pub use server::{feed_events, QuerydCore, ServerMetrics, Snapshot, SnapshotSource, WallClock};

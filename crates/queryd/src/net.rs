@@ -23,8 +23,24 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-/// How often a blocked connection read wakes up to check for shutdown.
-const POLL_INTERVAL: Duration = Duration::from_millis(50);
+/// Tunables of the TCP serving loop. [`ServerConfig::default`] preserves
+/// the historical behavior (50 ms shutdown-polling read timeout); latency
+/// benches and the cluster router pick tighter values, batch tools looser
+/// ones.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerConfig {
+    /// How often a blocked connection read wakes up to check for
+    /// shutdown. Shorter = faster shutdown, more idle wakeups.
+    pub poll_interval: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            poll_interval: Duration::from_millis(50),
+        }
+    }
+}
 
 /// What went wrong on the client side of a call.
 #[derive(Debug)]
@@ -172,6 +188,15 @@ pub struct QuerydServer {
 /// port). One thread accepts; each connection gets its own thread that
 /// answers frames until the peer closes or the server shuts down.
 pub fn serve(core: Arc<QuerydCore>, bind_addr: &str) -> std::io::Result<QuerydServer> {
+    serve_with(core, bind_addr, ServerConfig::default())
+}
+
+/// [`serve`] with explicit [`ServerConfig`] tunables.
+pub fn serve_with(
+    core: Arc<QuerydCore>,
+    bind_addr: &str,
+    cfg: ServerConfig,
+) -> std::io::Result<QuerydServer> {
     let listener = TcpListener::bind(bind_addr)?;
     let addr = listener.local_addr()?;
     let stop = Arc::new(AtomicBool::new(false));
@@ -188,7 +213,7 @@ pub fn serve(core: Arc<QuerydCore>, bind_addr: &str) -> std::io::Result<QuerydSe
                 let Ok(stream) = stream else { break };
                 let core = core.clone();
                 let stop = stop.clone();
-                let handle = std::thread::spawn(move || serve_conn(&core, &stop, stream));
+                let handle = std::thread::spawn(move || serve_conn(&core, &stop, cfg, stream));
                 conns.lock().expect("conn registry").push(handle);
             }
         })
@@ -240,10 +265,10 @@ impl Drop for QuerydServer {
     }
 }
 
-fn serve_conn(core: &QuerydCore, stop: &AtomicBool, mut stream: TcpStream) {
+fn serve_conn(core: &QuerydCore, stop: &AtomicBool, cfg: ServerConfig, mut stream: TcpStream) {
     // Short read timeouts let blocked connections notice shutdown; a frame
     // mid-flight keeps accumulating across timeouts.
-    let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
+    let _ = stream.set_read_timeout(Some(cfg.poll_interval));
     let _ = stream.set_nodelay(true);
     let mut len4 = [0u8; 4];
     loop {
@@ -364,6 +389,29 @@ mod tests {
         let _idle = TcpClient::connect(server.addr()).expect("connect");
         // The idle connection is mid-read on the length prefix; shutdown
         // must still join it promptly.
+        server.shutdown();
+    }
+
+    #[test]
+    fn custom_poll_interval_answers_identically_to_the_default() {
+        // The configurable shutdown-poll timeout is a liveness knob only:
+        // answers are byte-identical at any value, and shutdown with an
+        // idle (blocked) connection still joins promptly at a tight one.
+        let core = QuerydCore::new(Store::new(&StoreConfig::default()));
+        let server = serve_with(
+            core.clone(),
+            "127.0.0.1:0",
+            ServerConfig {
+                poll_interval: Duration::from_millis(2),
+            },
+        )
+        .expect("bind");
+        let mut tcp = TcpClient::connect(server.addr()).expect("connect");
+        let q = Query::count_by(vec![Dim::Kind]);
+        let (e1, r1) = tcp.query(&q).expect("tcp query");
+        let (e2, r2) = InProcClient::new(core).query(&q).expect("inproc query");
+        assert_eq!((e1, r1), (e2, r2));
+        let _idle = TcpClient::connect(server.addr()).expect("connect");
         server.shutdown();
     }
 }

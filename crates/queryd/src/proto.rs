@@ -424,7 +424,10 @@ fn read_dims(bytes: &[u8], pos: &mut usize) -> Result<Vec<Dim>, ProtoError> {
     Ok(dims)
 }
 
-fn write_query(out: &mut Vec<u8>, q: &Query) {
+/// Append the wire form of a [`Query`] to `out` — the query grammar of
+/// the `CQ` protocol, shared verbatim by the cluster's `CR` replication
+/// frames so both families route the exact same query type.
+pub fn write_query(out: &mut Vec<u8>, q: &Query) {
     write_varint(out, q.filters.len() as u64);
     for f in &q.filters {
         write_filter(out, f);
@@ -435,7 +438,9 @@ fn write_query(out: &mut Vec<u8>, q: &Query) {
     write_varint(out, q.top_k as u64);
 }
 
-fn read_query(bytes: &[u8], pos: &mut usize) -> Result<Query, ProtoError> {
+/// Total inverse of [`write_query`]: typed errors on malformed input,
+/// allocation bounded by the remaining payload.
+pub fn read_query(bytes: &[u8], pos: &mut usize) -> Result<Query, ProtoError> {
     let nf = read_int(bytes, pos)? as usize;
     if nf > bytes.len().saturating_sub(*pos) {
         return Err(ProtoError::InvalidField("filters overcount"));

@@ -46,6 +46,21 @@ pub struct Snapshot {
     pub store: Store,
 }
 
+/// Anything that hands out epoch-tagged immutable store snapshots — the
+/// query daemon core itself, and the cluster tier's leader and follower
+/// replicas. Callers written against this trait (the scatter-gather
+/// router, the bench drivers) serve identically off any of them.
+pub trait SnapshotSource: Send + Sync {
+    /// The current epoch-consistent view.
+    fn snapshot(&self) -> Arc<Snapshot>;
+}
+
+impl SnapshotSource for QuerydCore {
+    fn snapshot(&self) -> Arc<Snapshot> {
+        QuerydCore::snapshot(self)
+    }
+}
+
 /// Server-side request metrics: thread-safe accumulators exported into a
 /// [`MetricsSnapshot`] on demand.
 #[derive(Debug, Default)]
@@ -161,6 +176,20 @@ impl QuerydCore {
         let epoch = cur.epoch + 1;
         *cur = Arc::new(Snapshot { epoch, store });
         epoch
+    }
+
+    /// [`QuerydCore::publish`] with an externally assigned epoch — the
+    /// replication path aligns snapshot epochs with its segment-ship
+    /// sequence numbers so a router can report exactly which replication
+    /// position answered. Monotonicity is the caller's contract; a stale
+    /// epoch is refused (the current snapshot wins) and `false` returned.
+    pub fn publish_at(&self, store: Store, epoch: u64) -> bool {
+        let mut cur = self.current.write().expect("snapshot lock");
+        if epoch < cur.epoch {
+            return false;
+        }
+        *cur = Arc::new(Snapshot { epoch, store });
+        true
     }
 
     /// The current snapshot. The lock is held only for the `Arc` clone.

@@ -1,7 +1,7 @@
 //! Positions and distances on the synthetic map.
 //!
 //! The deployment lives on a square region measured in kilometres. Geography
-//! is synthetic (DESIGN.md §10): what matters to the reproduction is relative
+//! is synthetic (DESIGN.md §11): what matters to the reproduction is relative
 //! density and distance, not real coordinates.
 
 /// A position on the map, in kilometres.

@@ -273,6 +273,14 @@ impl DeviceDim {
 #[derive(Debug, Clone, Default)]
 pub struct DeviceDirectory {
     dims: Vec<DeviceDim>,
+    /// Ownership mask for sharded deployments: when present, [`iter`]
+    /// (and therefore [`Store::register_population`]) yields only owned
+    /// ids, while [`dim_of`] keeps answering for the whole fleet — any
+    /// shard may look up any device's static dimensions.
+    ///
+    /// [`iter`]: DeviceDirectory::iter
+    /// [`dim_of`]: DeviceDirectory::dim_of
+    owned: Option<Vec<bool>>,
 }
 
 impl DeviceDirectory {
@@ -292,7 +300,22 @@ impl DeviceDirectory {
                 };
             }
         }
-        DeviceDirectory { dims }
+        DeviceDirectory { dims, owned: None }
+    }
+
+    /// A shard-local view: [`DeviceDirectory::dim_of`] still answers for
+    /// every device, but [`DeviceDirectory::iter`] yields only the
+    /// devices `keep` selects — so a sharded store's
+    /// [`Store::register_population`] seeds exactly its ownership slice,
+    /// and the union of shard views reproduces the full directory.
+    pub fn filtered(&self, keep: impl Fn(DeviceId) -> bool) -> Self {
+        let owned = (0..self.dims.len())
+            .map(|i| keep(DeviceId(i as u32)))
+            .collect();
+        DeviceDirectory {
+            dims: self.dims.clone(),
+            owned: Some(owned),
+        }
     }
 
     /// The dimensions of a device ([`DeviceDim::UNKNOWN`] if unlisted).
@@ -313,11 +336,13 @@ impl DeviceDirectory {
         self.dims.is_empty()
     }
 
-    /// Iterate `(device id, dims)` in id order.
+    /// Iterate `(device id, dims)` in id order, skipping devices outside
+    /// the ownership mask of a [`DeviceDirectory::filtered`] view.
     pub fn iter(&self) -> impl Iterator<Item = (DeviceId, DeviceDim)> + '_ {
         self.dims
             .iter()
             .enumerate()
+            .filter(|(i, _)| self.owned.as_ref().map_or(true, |m| m[*i]))
             .map(|(i, d)| (DeviceId(i as u32), *d))
     }
 }
@@ -944,6 +969,7 @@ mod tests {
         let events = small_events(100);
         let dir = DeviceDirectory {
             dims: vec![DeviceDim::UNKNOWN; 40],
+            owned: None,
         };
         let cfg = StoreConfig::default();
 

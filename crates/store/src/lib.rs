@@ -6,7 +6,7 @@
 //! model × region × fail-cause class over time, Tables 1–2, §3–§5)
 //! without a batch pass per question.
 //!
-//! Five layers:
+//! Six layers:
 //!
 //! * [`cube`] — partitioned storage: records land in cells keyed by
 //!   (time bucket, kind, ISP, RAT, model, region, cause class, cause);
@@ -29,6 +29,12 @@
 //!   compaction-transparent. [`Store::query`] scans segments columnar;
 //!   [`Store::query_row`] is the row reference engine the differential
 //!   harness compares against.
+//! * [`federate`] — scatter-gather support for the cluster tier:
+//!   [`Store::query_partial`] evaluates up to (not including)
+//!   finalisation, [`merge_partials`] folds shard partials with the
+//!   exact cell algebra and finalises through the same code path local
+//!   queries use, so federated answers are byte-identical to
+//!   single-node ones.
 //! * [`persist`] — CRC-framed save/restore of the full store state,
 //!   mirroring the ingest checkpoint format discipline (total restore,
 //!   typed errors, no unbounded allocations on hostile input). Images are
@@ -46,6 +52,7 @@
 
 pub mod columnar;
 pub mod cube;
+pub mod federate;
 pub mod persist;
 pub mod query;
 pub mod workload;
@@ -55,5 +62,6 @@ pub use cube::{
     build_sharded, Cell, CellKey, DeviceDim, DeviceDirectory, DeviceRec, Region, Store,
     StoreConfig, StoreSink, NO_CAUSE_CLASS, NO_ISP,
 };
+pub use federate::{decode_partial, encode_partial, merge_partials, PartialResultSet};
 pub use persist::{restore_store, save_store, PersistError};
 pub use query::{Dim, Filter, Metric, Query, QueryError, ResultRow, ResultSet};

@@ -60,7 +60,7 @@ impl std::fmt::Display for PersistError {
 
 impl std::error::Error for PersistError {}
 
-fn rv(bytes: &[u8], pos: &mut usize) -> Result<u64, PersistError> {
+pub(crate) fn rv(bytes: &[u8], pos: &mut usize) -> Result<u64, PersistError> {
     read_varint(bytes, pos).map_err(|_| PersistError::Varint)
 }
 
@@ -69,7 +69,7 @@ fn rv_u8(bytes: &[u8], pos: &mut usize) -> Result<u8, PersistError> {
     u8::try_from(v).map_err(|_| PersistError::Malformed("field exceeds u8"))
 }
 
-fn write_sketch(out: &mut Vec<u8>, s: &SparseSketch) {
+pub(crate) fn write_sketch(out: &mut Vec<u8>, s: &SparseSketch) {
     write_varint(out, s.min().unwrap_or(0));
     write_varint(out, s.max().unwrap_or(0));
     let pairs: Vec<(usize, u64)> = s.nonzero_buckets().collect();
@@ -84,7 +84,7 @@ fn write_sketch(out: &mut Vec<u8>, s: &SparseSketch) {
     }
 }
 
-fn read_sketch(bytes: &[u8], pos: &mut usize) -> Result<SparseSketch, PersistError> {
+pub(crate) fn read_sketch(bytes: &[u8], pos: &mut usize) -> Result<SparseSketch, PersistError> {
     let min = rv(bytes, pos)?;
     let max = rv(bytes, pos)?;
     let nnz = rv(bytes, pos)? as usize;

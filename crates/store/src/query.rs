@@ -192,7 +192,7 @@ impl Metric {
         }
     }
 
-    fn is_device_metric(&self) -> bool {
+    pub(crate) fn is_device_metric(&self) -> bool {
         matches!(self, Metric::Devices | Metric::FailingDevices)
     }
 }
@@ -366,8 +366,8 @@ impl ResultSet {
     }
 }
 
-struct Plan {
-    window_ms: u64,
+pub(crate) struct Plan {
+    pub(crate) window_ms: u64,
     bucket_lo: u32,
     bucket_hi: u32, // exclusive
 }
@@ -375,10 +375,10 @@ struct Plan {
 /// There are exactly [`MAX_DIMS`] dimensions and duplicates are rejected,
 /// so a fixed array (unused slots 0) holds any legal group key without
 /// per-cell heap allocation.
-const MAX_DIMS: usize = 8;
-type GroupKey = [u64; MAX_DIMS];
+pub(crate) const MAX_DIMS: usize = 8;
+pub(crate) type GroupKey = [u64; MAX_DIMS];
 
-fn validate(store: &Store, q: &Query) -> Result<Plan, QueryError> {
+pub(crate) fn validate(store: &Store, q: &Query) -> Result<Plan, QueryError> {
     let cfg = store.config();
     let granularity_ms = cfg.bucket_ms * u64::from(cfg.rollup_buckets);
     for (i, d) in q.group_by.iter().enumerate() {
@@ -519,7 +519,7 @@ fn component_label(d: Dim, component: u64, window_ms: u64) -> String {
 /// Which physical scan implementation serves sealed segments. The hot row
 /// tier always scans cell-by-cell; the engines differ only on segments.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Engine {
+pub(crate) enum Engine {
     /// Zone-pruned, filter-before-materialise per-column loops.
     Columnar,
     /// Reference path: materialise every row and reuse the hot-tier code.
@@ -565,6 +565,20 @@ impl Store {
     }
 
     fn eval_cells(&self, q: &Query, plan: &Plan, engine: Engine) -> ResultSet {
+        let (groups, scanned, matched) = self.collect_cells(q, plan, engine);
+        finalize_groups(q, plan.window_ms, groups, scanned, matched)
+    }
+
+    /// The scan half of cell evaluation: fold matching cells into one
+    /// partial-aggregate [`Cell`] per group and report the scan
+    /// accounting, leaving metric derivation to [`finalize_groups`]. The
+    /// cluster tier ships these partials across shards before finalising.
+    pub(crate) fn collect_cells(
+        &self,
+        q: &Query,
+        plan: &Plan,
+        engine: Engine,
+    ) -> (BTreeMap<GroupKey, Cell>, u64, u64) {
         let bucket_ms = self.config().bucket_ms;
         let mut scanned = 0u64;
         let mut matched = 0u64;
@@ -652,37 +666,23 @@ impl Store {
                 }
             }
         }
-        let mut rows: Vec<ResultRow> = groups
-            .into_iter()
-            .map(|(gk, acc)| {
-                let key: Vec<u64> = gk[..q.group_by.len()].to_vec();
-                let labels = key
-                    .iter()
-                    .zip(&q.group_by)
-                    .map(|(c, d)| component_label(*d, *c, plan.window_ms))
-                    .collect();
-                let value = metric_value(&q.metric, &acc);
-                ResultRow {
-                    key,
-                    labels,
-                    value,
-                    count: acc.count,
-                }
-            })
-            .collect();
-        apply_top_k(&mut rows, q.top_k);
-        ResultSet {
-            group_by: q.group_by.clone(),
-            metric: q.metric,
-            rows,
-            cells_scanned: scanned,
-            cells_matched: matched,
-        }
+        (groups, scanned, matched)
     }
 
     fn eval_devices(&self, q: &Query) -> ResultSet {
+        let (groups, scanned, matched) = self.collect_devices(q);
+        // Device labels never involve a time window; width 1 keeps the
+        // (unreachable) `Dim::Time` arm well-defined.
+        finalize_groups(q, 1, groups, scanned, matched)
+    }
+
+    /// The scan half of device-directory evaluation: one group per
+    /// model/region/ISP key, the device tally carried in [`Cell::count`]
+    /// so the same partial-aggregate shape (and the same cluster shipping
+    /// path) serves cell and device metrics alike.
+    pub(crate) fn collect_devices(&self, q: &Query) -> (BTreeMap<GroupKey, Cell>, u64, u64) {
         let failing_only = matches!(q.metric, Metric::FailingDevices);
-        let mut groups: BTreeMap<GroupKey, u64> = BTreeMap::new();
+        let mut groups: BTreeMap<GroupKey, Cell> = BTreeMap::new();
         let mut scanned = 0u64;
         for p in &self.partitions {
             for rec in p.devices.values() {
@@ -708,35 +708,57 @@ impl Store {
                         _ => 0, // validation rejects the rest
                     };
                 }
-                *groups.entry(gk).or_insert(0) += 1;
+                groups.entry(gk).or_default().count += 1;
             }
         }
-        let matched: u64 = groups.values().sum();
-        let mut rows: Vec<ResultRow> = groups
-            .into_iter()
-            .map(|(gk, n)| {
-                let key: Vec<u64> = gk[..q.group_by.len()].to_vec();
-                let labels = key
-                    .iter()
-                    .zip(&q.group_by)
-                    .map(|(c, d)| component_label(*d, *c, 1))
-                    .collect();
-                ResultRow {
-                    key,
-                    labels,
-                    value: n as f64,
-                    count: n,
-                }
-            })
-            .collect();
-        apply_top_k(&mut rows, q.top_k);
-        ResultSet {
-            group_by: q.group_by.clone(),
-            metric: q.metric,
-            rows,
-            cells_scanned: scanned,
-            cells_matched: matched,
-        }
+        let matched: u64 = groups.values().map(|c| c.count).sum();
+        (groups, scanned, matched)
+    }
+}
+
+/// Shared groups→rows finalisation: label every group key, derive the
+/// metric value from the accumulated partial aggregate (device metrics
+/// read the tally straight out of [`Cell::count`]), and apply the top-k
+/// cut. Local evaluation and the cluster's merge-then-finalize both end
+/// here — the single code path is what makes scatter-gathered answers
+/// byte-identical to single-node ones.
+pub(crate) fn finalize_groups(
+    q: &Query,
+    window_ms: u64,
+    groups: BTreeMap<GroupKey, Cell>,
+    cells_scanned: u64,
+    cells_matched: u64,
+) -> ResultSet {
+    let device = q.metric.is_device_metric();
+    let mut rows: Vec<ResultRow> = groups
+        .into_iter()
+        .map(|(gk, acc)| {
+            let key: Vec<u64> = gk[..q.group_by.len()].to_vec();
+            let labels = key
+                .iter()
+                .zip(&q.group_by)
+                .map(|(c, d)| component_label(*d, *c, window_ms))
+                .collect();
+            let value = if device {
+                acc.count as f64
+            } else {
+                metric_value(&q.metric, &acc)
+            };
+            ResultRow {
+                key,
+                labels,
+                value,
+                count: acc.count,
+            }
+        })
+        .collect();
+    apply_top_k(&mut rows, q.top_k);
+    ResultSet {
+        group_by: q.group_by.clone(),
+        metric: q.metric,
+        rows,
+        cells_scanned,
+        cells_matched,
     }
 }
 

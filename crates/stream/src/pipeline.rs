@@ -363,6 +363,32 @@ impl<'d> StreamPipeline<'d> {
         &self.manifest
     }
 
+    /// The manifest entries sealed at position `from` and later — the
+    /// replication export hook: a shard leader tracks how many entries it
+    /// has shipped and fetches the suffix to forward (or to answer a
+    /// follower's catch-up request). `from` past the end is an empty
+    /// suffix, not an error.
+    pub fn manifest_suffix(&self, from: usize) -> &[SegmentEntry] {
+        self.manifest.get(from..).unwrap_or(&[])
+    }
+
+    /// Fetch one sealed segment's frame bytes from the backend for
+    /// shipping, cross-checked against the manifest entry (kind, index,
+    /// watermark, records, digest) so a corrupted backend is a typed
+    /// error at export time, not a diverging follower later.
+    pub fn export_segment(
+        &self,
+        entry: &SegmentEntry,
+        segs: &dyn SegmentStore,
+    ) -> Result<Vec<u8>, StreamError> {
+        let bytes = segs.get(&entry.name())?;
+        let (decoded, _) = crate::segment::decode_segment(&bytes)?;
+        if decoded != *entry {
+            return Err(StreamError::SegmentMismatch(entry.name()));
+        }
+        Ok(bytes)
+    }
+
     /// Stream bookkeeping counters.
     pub fn counters(&self) -> &StreamCounters {
         &self.counters

@@ -233,8 +233,11 @@ impl SegmentStore for MemSegments {
 }
 
 /// Filesystem segment backend: one file per segment under a directory.
-/// Used by the long-running bins; writes go through a temp file + rename
-/// so a kill mid-write never leaves a torn segment under its final name.
+/// Used by the long-running bins; writes go through a temp file + fsync +
+/// rename + directory fsync, so a kill mid-write never leaves a torn
+/// segment under its final name **and** a crash right after publish
+/// cannot lose a segment the manifest already references (the rename
+/// itself is only durable once the parent directory entry is synced).
 #[derive(Debug, Clone)]
 pub struct DirSegments {
     dir: std::path::PathBuf,
@@ -256,10 +259,22 @@ impl DirSegments {
 
 impl SegmentStore for DirSegments {
     fn put(&mut self, name: &str, bytes: &[u8]) -> Result<(), StreamError> {
+        use std::io::Write;
+        let io = |e: std::io::Error| StreamError::Io(e.to_string());
         let tmp = self.dir.join(format!("{name}.tmp"));
         let fin = self.dir.join(name);
-        std::fs::write(&tmp, bytes).map_err(|e| StreamError::Io(e.to_string()))?;
-        std::fs::rename(&tmp, &fin).map_err(|e| StreamError::Io(e.to_string()))
+        let mut f = std::fs::File::create(&tmp).map_err(io)?;
+        f.write_all(bytes).map_err(io)?;
+        // Contents must hit stable storage before the rename publishes the
+        // final name, and the rename must hit it before the caller records
+        // the segment in its manifest — hence file fsync, rename, then
+        // parent-directory fsync.
+        f.sync_all().map_err(io)?;
+        drop(f);
+        std::fs::rename(&tmp, &fin).map_err(io)?;
+        std::fs::File::open(&self.dir)
+            .and_then(|d| d.sync_all())
+            .map_err(io)
     }
 
     fn get(&self, name: &str) -> Result<Vec<u8>, StreamError> {
@@ -270,5 +285,44 @@ impl SegmentStore for DirSegments {
             }
             Err(e) => Err(StreamError::Io(e.to_string())),
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Regression for the durability hole the cluster replication path
+    /// leans on: `put` must leave no `.tmp` residue under the final name's
+    /// directory, survive overwrites, and round-trip bytes exactly. (The
+    /// fsync-ordering property itself is not observable in-process; this
+    /// pins the publish protocol around it.)
+    #[test]
+    fn dir_segments_publish_leaves_no_temp_residue() {
+        let dir = std::env::temp_dir().join(format!("cellrel-dirsegs-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut segs = DirSegments::open(&dir).expect("open");
+        segs.put("w0000000001.seg", b"first").expect("put");
+        segs.put("w0000000001.seg", b"second write wins")
+            .expect("overwrite");
+        segs.put("l0000000001.seg", b"late lane").expect("put");
+        let names: Vec<String> = std::fs::read_dir(&dir)
+            .expect("read dir")
+            .map(|e| e.expect("entry").file_name().to_string_lossy().into_owned())
+            .collect();
+        assert!(
+            names.iter().all(|n| !n.ends_with(".tmp")),
+            "temp residue after publish: {names:?}"
+        );
+        assert_eq!(
+            segs.get("w0000000001.seg").expect("get"),
+            b"second write wins"
+        );
+        assert_eq!(segs.get("l0000000001.seg").expect("get"), b"late lane");
+        assert!(matches!(
+            segs.get("missing.seg"),
+            Err(StreamError::SegmentMissing(_))
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }
